@@ -1,0 +1,72 @@
+// Command layout renders the paper's layout and schedule figures as
+// text tables.
+//
+// Usage:
+//
+//	layout -fig 1|3|4|5|6|7 [-rows N]
+//	layout -all
+//
+// Figures: 1 simple striping (9 disks, M=3); 3 rotating cluster
+// schedule; 4 staggered striping (8 disks, k=1); 5 mixed media
+// (12 disks, M=2/3/4); 6 time-fragmented delivery with coalescing;
+// 7 low-bandwidth disk sharing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mmsim/staggered/internal/core"
+	"github.com/mmsim/staggered/internal/sched"
+	"github.com/mmsim/staggered/internal/vdisk"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to render (1, 3, 4, 5, 6, or 7)")
+	rows := flag.Int("rows", 0, "rows (subobjects or intervals) to render; 0 = figure default")
+	all := flag.Bool("all", false, "render every figure")
+	flag.Parse()
+
+	figures := []int{1, 3, 4, 5, 6, 7}
+	if !*all {
+		if *fig == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		figures = []int{*fig}
+	}
+	for _, f := range figures {
+		s, err := render(f, *rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "layout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Figure %d ===\n%s\n", f, s)
+	}
+}
+
+func render(fig, rows int) (string, error) {
+	def := func(d int) int {
+		if rows > 0 {
+			return rows
+		}
+		return d
+	}
+	switch fig {
+	case 1:
+		return core.Figure1(def(6))
+	case 3:
+		return sched.Figure3(def(6))
+	case 4:
+		return core.Figure4(def(8))
+	case 5:
+		return core.Figure5(def(13))
+	case 6:
+		return vdisk.Figure6(def(8))
+	case 7:
+		return sched.Figure7(3, def(3))
+	default:
+		return "", fmt.Errorf("no renderer for figure %d (figures 2 and 8 are benchmarks: see bench_test.go and cmd/sweep)", fig)
+	}
+}

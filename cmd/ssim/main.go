@@ -1,0 +1,126 @@
+// Command ssim runs one multimedia-server simulation and reports its
+// statistics: throughput in displays per hour, admission latency,
+// device utilization, and storage state.
+//
+// Usage:
+//
+//	ssim -technique striped -stations 64 -dist 20
+//	ssim -technique vdr -stations 256 -dist 43.5
+//	ssim -technique staggered -stride 1 -stations 64
+//	ssim -scale quick ...            # reduced farm for fast runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/sched"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+func main() {
+	technique := flag.String("technique", "striped", "striped (k=M), staggered (with -stride), or vdr")
+	stations := flag.Int("stations", 64, "number of display stations (closed system)")
+	dist := flag.Float64("dist", 20, "geometric access-distribution mean (10, 20, 43.5)")
+	stride := flag.Int("stride", 0, "stride for -technique staggered (default 1)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scaleFlag := flag.String("scale", "full", "full (Table 3) or quick")
+	warmup := flag.Int("warmup", 0, "warm-up intervals (0 = scale default)")
+	measure := flag.Int("measure", 0, "measurement intervals (0 = scale default)")
+	trace := flag.Int("trace", 0, "print the first N scheduler events (striped/staggered only)")
+	flag.Parse()
+
+	scale := experiment.Full
+	if *scaleFlag == "quick" {
+		scale = experiment.Quick
+	} else if *scaleFlag != "full" {
+		fmt.Fprintf(os.Stderr, "ssim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	cfg := experiment.BaseConfig(scale, *stations, *dist, *seed)
+	if *warmup > 0 {
+		cfg.WarmupIntervals = *warmup
+	}
+	if *measure > 0 {
+		cfg.MeasureIntervals = *measure
+	}
+
+	var res sched.Result
+	switch *technique {
+	case "striped":
+		eng, err := sched.NewStriped(cfg)
+		exitOn(err)
+		installTracer(eng, *trace)
+		res = eng.Run()
+	case "staggered":
+		if *stride == 0 {
+			*stride = 1
+		}
+		cfg.K = *stride
+		cfg.Fragmented = true
+		cfg.Coalescing = true
+		eng, err := sched.NewStriped(cfg)
+		exitOn(err)
+		installTracer(eng, *trace)
+		res = eng.Run()
+	case "vdr":
+		eng, err := sched.NewVDR(cfg)
+		exitOn(err)
+		res = eng.Run()
+	default:
+		fmt.Fprintf(os.Stderr, "ssim: unknown technique %q\n", *technique)
+		os.Exit(2)
+	}
+
+	printResult(cfg, res)
+}
+
+// installTracer prints the first n scheduler events.
+func installTracer(eng *sched.Striped, n int) {
+	if n <= 0 {
+		return
+	}
+	printed := 0
+	eng.SetTracer(func(ev sched.Event) {
+		if printed < n {
+			fmt.Println(ev)
+			printed++
+		}
+	})
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func printResult(cfg sched.Config, r metrics.Run) {
+	fmt.Printf("technique:            %s\n", r.Technique)
+	fmt.Printf("farm:                 %d disks, stride %d, %d-disk degree, %d objects\n",
+		cfg.D, cfg.K, cfg.M, cfg.Objects)
+	fmt.Printf("workload:             %d stations, %s (geometric mean %v)\n",
+		r.Stations, workload.MeanLabel(r.DistMean), r.DistMean)
+	fmt.Printf("window:               %.0f s warm-up + %.0f s measured\n",
+		r.WarmupSeconds, r.MeasureSeconds)
+	fmt.Printf("throughput:           %.2f displays/hour (%d displays)\n",
+		r.Throughput(), r.Displays)
+	fmt.Printf("admission latency:    mean %.1f s, max %.1f s (n=%d)\n",
+		r.Latency.Mean(), r.Latency.Max(), r.Latency.N())
+	fmt.Printf("disk utilization:     %.1f%%\n", r.DiskBusy*100)
+	fmt.Printf("tertiary utilization: %.1f%% (%d materializations)\n",
+		r.TertiaryBusy*100, r.Materializa)
+	if r.Replications > 0 {
+		fmt.Printf("replications:         %d\n", r.Replications)
+	}
+	if r.Coalescings > 0 {
+		fmt.Printf("coalescings:          %d\n", r.Coalescings)
+	}
+	fmt.Printf("unique residents:     %d\n", r.UniqueResidents)
+	fmt.Printf("hiccups:              %d\n", r.Hiccups)
+}

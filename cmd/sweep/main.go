@@ -1,0 +1,118 @@
+// Command sweep regenerates the paper's evaluation: the three graphs
+// of Figure 8 (throughput against the number of display stations for
+// the highly-skewed, skewed, and uniform access distributions) and
+// Table 4 (percentage improvement of simple striping over virtual
+// data replication).
+//
+// Usage:
+//
+//	sweep                         # full Table 3 scale, all figures + Table 4
+//	sweep -scale quick            # reduced scale (seconds instead of minutes)
+//	sweep -dist 20                # one distribution only
+//	sweep -stations 16,64,128,256 # restrict the station sweep
+//	sweep -csv                    # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3) or quick")
+	dist := flag.Float64("dist", 0, "run a single distribution mean (10, 20, or 43.5); 0 = all")
+	stationsFlag := flag.String("stations", "", "comma-separated station counts; empty = paper sweep 1..256")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	flag.Parse()
+
+	scale := experiment.Full
+	switch *scaleFlag {
+	case "full":
+	case "quick":
+		scale = experiment.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	stations, err := parseStations(*stationsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	means := workload.PaperMeans
+	if *dist != 0 {
+		means = []float64{*dist}
+	}
+
+	byMean := map[float64][]experiment.Point{}
+	for _, mean := range means {
+		pts, err := experiment.Figure8(scale, mean, stations, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		byMean[mean] = pts
+		if *csv {
+			fmt.Print(pointsCSV(mean, pts))
+		} else {
+			fmt.Println(experiment.Figure8Render(mean, pts))
+		}
+	}
+
+	if *dist == 0 {
+		tbl := experiment.Table4(byMean)
+		fmt.Println("Table 4: percentage improvement in throughput (displays per hour)")
+		fmt.Println("with simple striping as compared to virtual data replication.")
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+	}
+}
+
+func parseStations(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil // experiment.Figure8 defaults to the paper sweep
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad station count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pointsCSV(mean float64, pts []experiment.Point) string {
+	tbl := &metrics.Table{Header: []string{
+		"mean", "stations", "striped_per_hour", "vdr_per_hour", "improvement_pct",
+		"striped_latency_s", "vdr_latency_s", "vdr_unique_residents",
+	}}
+	for _, p := range pts {
+		tbl.AddRow(
+			fmt.Sprintf("%v", mean),
+			fmt.Sprintf("%d", p.Stations),
+			fmt.Sprintf("%.2f", p.Striped.Throughput()),
+			fmt.Sprintf("%.2f", p.VDR.Throughput()),
+			fmt.Sprintf("%.2f", p.Improvement()),
+			fmt.Sprintf("%.2f", p.Striped.Latency.Mean()),
+			fmt.Sprintf("%.2f", p.VDR.Latency.Mean()),
+			fmt.Sprintf("%d", p.VDR.UniqueResidents),
+		)
+	}
+	return tbl.CSV()
+}

@@ -1,0 +1,3 @@
+module github.com/mmsim/staggered
+
+go 1.22

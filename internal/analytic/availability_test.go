@@ -1,0 +1,77 @@
+package analytic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBlastRadiusExtremes: with k=D an object is pinned to M disks,
+// so a single failure hits only M/D of the database; with k=M on the
+// Table 3 farm every object touches every disk, so one failure hits
+// everything.
+func TestBlastRadiusExtremes(t *testing.T) {
+	const d, m, n, count = 1000, 5, 3000, 200
+	pinned := BlastRadius(d, d, m, n, count)
+	if pinned > count*m/ /* footprint */ d+1 {
+		t.Errorf("k=D blast radius = %d objects, want ~%d", pinned, count*m/d+1)
+	}
+	striped := BlastRadius(d, m, m, n, count)
+	if striped != count {
+		t.Errorf("k=M blast radius = %d objects, want all %d", striped, count)
+	}
+	if pinned >= striped {
+		t.Error("pinning must shrink the blast radius")
+	}
+}
+
+func TestBlastRadiusBounds(t *testing.T) {
+	err := quick.Check(func(dRaw, kRaw, mRaw, nRaw, cRaw uint8) bool {
+		d := int(dRaw%50) + 1
+		k := int(kRaw)%d + 1
+		m := int(mRaw)%d + 1
+		n := int(nRaw%40) + 1
+		count := int(cRaw % 100)
+		b := BlastRadius(d, k, m, n, count)
+		return b >= 0 && b <= count
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivingBandwidthFraction(t *testing.T) {
+	// No failures: everything survives.
+	if got := SurvivingBandwidthFraction(1000, 5, 5, 3000, 0); got != 1 {
+		t.Fatalf("zero failures survival = %v", got)
+	}
+	// Full-footprint objects (k=M, Table 3): any failure kills all.
+	if got := SurvivingBandwidthFraction(1000, 5, 5, 3000, 1); got != 0 {
+		t.Fatalf("k=M one-failure survival = %v, want 0", got)
+	}
+	// Pinned objects (k=D): one failure kills M/D of the database.
+	got := SurvivingBandwidthFraction(1000, 1000, 5, 3000, 1)
+	want := 1 - 5.0/1000
+	if got < want-0.001 || got > want+0.001 {
+		t.Fatalf("k=D one-failure survival = %v, want ~%v", got, want)
+	}
+}
+
+func TestSurvivingBandwidthMonotone(t *testing.T) {
+	prev := 1.1
+	for f := 0; f <= 10; f++ {
+		got := SurvivingBandwidthFraction(100, 100, 4, 500, f)
+		if got > prev {
+			t.Fatalf("survival not monotone at %d failures", f)
+		}
+		prev = got
+	}
+}
+
+func TestAvailabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range failures did not panic")
+		}
+	}()
+	SurvivingBandwidthFraction(10, 1, 1, 1, 11)
+}

@@ -1,0 +1,91 @@
+// Package buffer models per-node memory for the pipelined delivery
+// scheme: Equation (1)'s minimum per-disk memory, and a fragment
+// buffer pool with high-water accounting used by the scheduler for
+// time-fragmented delivery (§3.2.1) and low-bandwidth object sharing
+// (§3.2.3).
+package buffer
+
+import "fmt"
+
+// MinimumBytes returns Equation (1) of the paper: the minimum memory
+// per disk drive needed to mask the head-repositioning delay,
+//
+//	B_disk × (T_switch + T_sector)
+//
+// with B_disk in bits/second and times in seconds.  The result is in
+// bytes.
+func MinimumBytes(bDisk, tSwitch, tSector float64) float64 {
+	if bDisk < 0 || tSwitch < 0 || tSector < 0 {
+		panic("buffer: negative argument to MinimumBytes")
+	}
+	return bDisk * (tSwitch + tSector) / 8
+}
+
+// Pool is a counting buffer pool measured in fragments.  A Pool with
+// Cap = 0 is unbounded (pure accounting).
+type Pool struct {
+	Cap       int // maximum fragments held at once; 0 = unbounded
+	held      int
+	peak      int
+	allocs    int
+	frees     int
+	rejected  int
+	bytesEach float64
+}
+
+// NewPool returns a pool capped at capFragments fragments of
+// fragmentBytes each (capFragments = 0 means unbounded).
+func NewPool(capFragments int, fragmentBytes float64) (*Pool, error) {
+	if capFragments < 0 {
+		return nil, fmt.Errorf("buffer: negative capacity %d", capFragments)
+	}
+	if fragmentBytes <= 0 {
+		return nil, fmt.Errorf("buffer: fragment size must be positive, got %v", fragmentBytes)
+	}
+	return &Pool{Cap: capFragments, bytesEach: fragmentBytes}, nil
+}
+
+// Acquire takes n fragment buffers, reporting false (and taking
+// nothing) when the pool would exceed its cap.
+func (p *Pool) Acquire(n int) bool {
+	if n < 0 {
+		panic("buffer: negative acquire")
+	}
+	if p.Cap > 0 && p.held+n > p.Cap {
+		p.rejected += n
+		return false
+	}
+	p.held += n
+	p.allocs += n
+	if p.held > p.peak {
+		p.peak = p.held
+	}
+	return true
+}
+
+// Release returns n fragment buffers to the pool.
+func (p *Pool) Release(n int) {
+	if n < 0 {
+		panic("buffer: negative release")
+	}
+	if n > p.held {
+		panic(fmt.Sprintf("buffer: releasing %d of %d held", n, p.held))
+	}
+	p.held -= n
+	p.frees += n
+}
+
+// Held returns the fragments currently held.
+func (p *Pool) Held() int { return p.held }
+
+// Peak returns the high-water mark in fragments.
+func (p *Pool) Peak() int { return p.peak }
+
+// PeakBytes returns the high-water mark in bytes.
+func (p *Pool) PeakBytes() float64 { return float64(p.peak) * p.bytesEach }
+
+// Rejected returns the number of fragment acquisitions refused.
+func (p *Pool) Rejected() int { return p.rejected }
+
+// Balanced reports whether every acquired fragment has been released.
+func (p *Pool) Balanced() bool { return p.held == 0 && p.allocs == p.frees }

@@ -1,0 +1,125 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestEquation1 checks the minimum-memory formula against the Sabre
+// parameters: B_disk = 20 mbps, T_switch = 51.83 ms and a 10 ms
+// sector time give 20e6 × 0.06183 / 8 bytes.
+func TestEquation1(t *testing.T) {
+	got := MinimumBytes(20e6, 0.05183, 0.010)
+	want := 20e6 * (0.05183 + 0.010) / 8
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("MinimumBytes = %v, want %v", got, want)
+	}
+	if got < 150000 || got > 160000 {
+		t.Fatalf("MinimumBytes = %v bytes, expected ~154 KB for Sabre-class disk", got)
+	}
+}
+
+func TestEquation1ZeroTimes(t *testing.T) {
+	if got := MinimumBytes(20e6, 0, 0); got != 0 {
+		t.Fatalf("zero times should need zero memory, got %v", got)
+	}
+}
+
+func TestEquation1PanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative argument did not panic")
+		}
+	}()
+	MinimumBytes(-1, 0, 0)
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(-1, 100); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if _, err := NewPool(0, 0); err == nil {
+		t.Error("zero fragment size accepted")
+	}
+}
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p, err := NewPool(5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Acquire(3) {
+		t.Fatal("acquire within cap failed")
+	}
+	if p.Acquire(3) {
+		t.Fatal("acquire past cap succeeded")
+	}
+	if p.Rejected() != 3 {
+		t.Fatalf("rejected = %d, want 3", p.Rejected())
+	}
+	if !p.Acquire(2) {
+		t.Fatal("exact-cap acquire failed")
+	}
+	if p.Peak() != 5 || p.PeakBytes() != 5000 {
+		t.Fatalf("peak = %d (%v bytes), want 5 (5000)", p.Peak(), p.PeakBytes())
+	}
+	p.Release(5)
+	if !p.Balanced() {
+		t.Fatal("pool not balanced after full release")
+	}
+}
+
+func TestPoolUnbounded(t *testing.T) {
+	p, err := NewPool(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Acquire(1 << 20) {
+		t.Fatal("unbounded pool rejected an acquire")
+	}
+	p.Release(1 << 20)
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	p, err := NewPool(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	p.Release(1)
+}
+
+// Property: held never exceeds cap and never goes negative under
+// arbitrary acquire/release sequences.
+func TestPoolInvariant(t *testing.T) {
+	err := quick.Check(func(ops []int8) bool {
+		p, err := NewPool(10, 1)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				p.Acquire(n % 8)
+			} else {
+				m := (-n) % 8
+				if m > p.Held() {
+					m = p.Held()
+				}
+				p.Release(m)
+			}
+			if p.Held() < 0 || p.Held() > 10 || p.Peak() > 10 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmsim/staggered/internal/diskmodel"
+)
+
+func TestRecommendStrideTable3(t *testing.T) {
+	// The paper's own evaluation: one media type, M=5, D=1000 → k=M.
+	a, err := RecommendStride(1000, []int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stride != 5 {
+		t.Fatalf("stride = %d, want 5", a.Stride)
+	}
+	if !strings.Contains(a.Rationale, "simple striping") {
+		t.Errorf("rationale: %s", a.Rationale)
+	}
+}
+
+func TestRecommendStrideMixedMedia(t *testing.T) {
+	// The Figure 5 mix: M = 2, 3, 4 → stride 1.
+	a, err := RecommendStride(12, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stride != 1 {
+		t.Fatalf("stride = %d, want 1", a.Stride)
+	}
+	// gcd(D, 1) = 1: skew-free by the §3.2.2 rule.
+	l, err := NewLayout(12, a.Stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.SkewFree() {
+		t.Error("recommended stride not skew-free")
+	}
+}
+
+func TestRecommendStrideNonDividing(t *testing.T) {
+	// Uniform degree that does not divide D → stride 1.
+	a, err := RecommendStride(10, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stride != 1 {
+		t.Fatalf("stride = %d, want 1", a.Stride)
+	}
+}
+
+func TestRecommendStrideValidation(t *testing.T) {
+	if _, err := RecommendStride(0, []int{1}); err == nil {
+		t.Error("D=0 accepted")
+	}
+	if _, err := RecommendStride(10, nil); err == nil {
+		t.Error("empty degrees accepted")
+	}
+	if _, err := RecommendStride(10, []int{11}); err == nil {
+		t.Error("degree > D accepted")
+	}
+	if _, err := RecommendStride(10, []int{0}); err == nil {
+		t.Error("degree 0 accepted")
+	}
+}
+
+func TestRecommendFragmentCylinders(t *testing.T) {
+	// §3.1's worked example: 30 clusters on the Sabre drive.  A 10 s
+	// budget admits one-cylinder fragments (worst ~8.8 s) but not two
+	// (~16 s).
+	c, ok := RecommendFragmentCylinders(diskmodel.Sabre, 30, 10)
+	if !ok || c != 1 {
+		t.Fatalf("got %d,%v, want 1,true", c, ok)
+	}
+	// A 20 s budget admits two cylinders.
+	c, ok = RecommendFragmentCylinders(diskmodel.Sabre, 30, 20)
+	if !ok || c != 2 {
+		t.Fatalf("got %d,%v, want 2,true", c, ok)
+	}
+	// An impossible budget still returns one cylinder, flagged.
+	c, ok = RecommendFragmentCylinders(diskmodel.Sabre, 30, 0.001)
+	if ok || c != 1 {
+		t.Fatalf("got %d,%v, want 1,false", c, ok)
+	}
+	// With a single cluster there is no startup wait: the probe stops
+	// at the diminishing-returns point instead.
+	c, ok = RecommendFragmentCylinders(diskmodel.Sabre, 1, 10)
+	if !ok || c < 2 {
+		t.Fatalf("got %d,%v, want >=2,true", c, ok)
+	}
+}
+
+func TestRecommendFragmentPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RecommendFragmentCylinders(diskmodel.Sabre, 0, 1) },
+		func() { RecommendFragmentCylinders(diskmodel.Sabre, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid input did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NamedPlacement pairs a placement with the object name used in the
+// paper's figures (X, Y, Z, ...).
+type NamedPlacement struct {
+	Name string
+	P    Placement
+}
+
+// Grid returns the fragment map of the given placements for subobject
+// rows 0..rows-1: grid[s][d] is "<name><s>.<i>" when disk d holds
+// fragment i of subobject s, or "" when no listed object stores data
+// there in that stripe.  This is exactly the presentation of Figures
+// 1, 4, and 5 of the paper.
+func Grid(d, rows int, objs []NamedPlacement) ([][]string, error) {
+	if d <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("core: grid needs positive dimensions, got %d×%d", rows, d)
+	}
+	g := make([][]string, rows)
+	for s := range g {
+		g[s] = make([]string, d)
+	}
+	for _, o := range objs {
+		if o.P.Layout.D != d {
+			return nil, fmt.Errorf("core: placement of %q is on a %d-disk layout, grid has %d",
+				o.Name, o.P.Layout.D, d)
+		}
+		n := o.P.N
+		if n > rows {
+			n = rows
+		}
+		for s := 0; s < n; s++ {
+			for i := 0; i < o.P.M; i++ {
+				disk := o.P.Disk(s, i)
+				cell := fmt.Sprintf("%s%d.%d", o.Name, s, i)
+				if g[s][disk] != "" {
+					return nil, fmt.Errorf("core: collision at subobject %d disk %d: %s vs %s",
+						s, disk, g[s][disk], cell)
+				}
+				g[s][disk] = cell
+			}
+		}
+	}
+	return g, nil
+}
+
+// RenderGrid formats a Grid as an aligned text table with a disk
+// header row, mirroring the paper's layout figures.
+func RenderGrid(g [][]string) string {
+	if len(g) == 0 {
+		return ""
+	}
+	d := len(g[0])
+	width := 4
+	for _, row := range g {
+		for _, cell := range row {
+			if len(cell) > width {
+				width = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-12s", "Disk"))
+	for i := 0; i < d; i++ {
+		b.WriteString(fmt.Sprintf(" %*d", width, i))
+	}
+	b.WriteByte('\n')
+	for s, row := range g {
+		b.WriteString(fmt.Sprintf("%-12s", fmt.Sprintf("Subobject %d", s)))
+		for _, cell := range row {
+			b.WriteString(fmt.Sprintf(" %*s", width, cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure1 returns the simple-striping layout of Figure 1: object X
+// with M_X = 3 on 9 disks (3 clusters), shown for rows subobjects.
+func Figure1(rows int) (string, error) {
+	l, err := SimpleStriping(9, 3)
+	if err != nil {
+		return "", err
+	}
+	p, err := NewPlacement(l, 0, 3, rows)
+	if err != nil {
+		return "", err
+	}
+	g, err := Grid(9, rows, []NamedPlacement{{Name: "X", P: p}})
+	if err != nil {
+		return "", err
+	}
+	return RenderGrid(g), nil
+}
+
+// Figure4 returns the staggered-striping layout of Figure 4: object X
+// on 8 disks with stride k = 1, shown for rows subobjects.
+func Figure4(rows int) (string, error) {
+	l, err := NewLayout(8, 1)
+	if err != nil {
+		return "", err
+	}
+	p, err := NewPlacement(l, 0, 4, rows)
+	if err != nil {
+		return "", err
+	}
+	g, err := Grid(8, rows, []NamedPlacement{{Name: "X", P: p}})
+	if err != nil {
+		return "", err
+	}
+	return RenderGrid(g), nil
+}
+
+// Figure5Placements returns the three placements of Figure 5: objects
+// Z, X, Y with bandwidth requirements 40, 60, 80 mbps (M = 2, 3, 4) on
+// 12 disks with stride 1; Y starts on disk 0, X on disk 4, Z on disk 7.
+func Figure5Placements(rows int) ([]NamedPlacement, error) {
+	l, err := NewLayout(12, 1)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, first, m int) (NamedPlacement, error) {
+		p, err := NewPlacement(l, first, m, rows)
+		return NamedPlacement{Name: name, P: p}, err
+	}
+	y, err := mk("Y", 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	x, err := mk("X", 4, 3)
+	if err != nil {
+		return nil, err
+	}
+	z, err := mk("Z", 7, 2)
+	if err != nil {
+		return nil, err
+	}
+	return []NamedPlacement{y, x, z}, nil
+}
+
+// Figure5 returns the mixed-media staggered layout of Figure 5.
+func Figure5(rows int) (string, error) {
+	objs, err := Figure5Placements(rows)
+	if err != nil {
+		return "", err
+	}
+	g, err := Grid(12, rows, objs)
+	if err != nil {
+		return "", err
+	}
+	return RenderGrid(g), nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store is the storage allocator for a staggered-striped disk farm.
+// It tracks per-disk occupancy in fragments, chooses start disks for
+// newly materialized objects, and releases space on eviction.
+type Store struct {
+	layout   Layout
+	capacity int // fragments per disk
+	used     []int
+	objects  map[int]Placement
+	cursor   int // round-robin start hint
+}
+
+// NewStore returns a Store for the layout with the given per-disk
+// capacity in fragments.
+func NewStore(l Layout, capacityFragments int) (*Store, error) {
+	if capacityFragments <= 0 {
+		return nil, fmt.Errorf("core: per-disk capacity %d must be positive", capacityFragments)
+	}
+	return &Store{
+		layout:   l,
+		capacity: capacityFragments,
+		used:     make([]int, l.D),
+		objects:  make(map[int]Placement),
+	}, nil
+}
+
+// Layout returns the store's layout.
+func (s *Store) Layout() Layout { return s.layout }
+
+// CapacityFragments returns the per-disk capacity.
+func (s *Store) CapacityFragments() int { return s.capacity }
+
+// Resident reports whether the object id is placed.
+func (s *Store) Resident(id int) bool {
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Placement returns the placement of object id.
+func (s *Store) Placement(id int) (Placement, bool) {
+	p, ok := s.objects[id]
+	return p, ok
+}
+
+// ResidentCount returns the number of placed objects.
+func (s *Store) ResidentCount() int { return len(s.objects) }
+
+// ResidentIDs returns the ids of all placed objects in ascending order.
+func (s *Store) ResidentIDs() []int {
+	ids := make([]int, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Used returns the number of fragments stored on disk d.
+func (s *Store) Used(d int) int { return s.used[d] }
+
+// FreeFragments returns the total free fragments across the farm.
+func (s *Store) FreeFragments() int {
+	free := 0
+	for _, u := range s.used {
+		free += s.capacity - u
+	}
+	return free
+}
+
+// fits reports whether the placement's footprint fits in the free
+// space of every disk it touches.
+func (s *Store) fits(p Placement) bool {
+	for d, c := range p.FragmentsPerDisk() {
+		if c > 0 && s.used[d]+c > s.capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// apply adds (sign=+1) or removes (sign=-1) the placement's footprint.
+func (s *Store) apply(p Placement, sign int) {
+	for d, c := range p.FragmentsPerDisk() {
+		s.used[d] += sign * c
+	}
+}
+
+// PlaceAt places object id with degree m and n subobjects starting at
+// a specific disk.  It fails if the object is already placed or does
+// not fit.
+func (s *Store) PlaceAt(id, first, m, n int) (Placement, error) {
+	if _, ok := s.objects[id]; ok {
+		return Placement{}, fmt.Errorf("core: object %d already placed", id)
+	}
+	p, err := NewPlacement(s.layout, first, m, n)
+	if err != nil {
+		return Placement{}, err
+	}
+	if !s.fits(p) {
+		return Placement{}, fmt.Errorf("core: object %d (%d fragments) does not fit starting at disk %d",
+			id, p.TotalFragments(), first)
+	}
+	s.apply(p, +1)
+	s.objects[id] = p
+	return p, nil
+}
+
+// Place places object id with degree m and n subobjects, choosing the
+// start disk.  The paper assigns subobjects "starting with an
+// available cluster"; we use a round-robin cursor advanced by the
+// stride so that equal objects tile the farm, falling back to a scan
+// of all start positions if the preferred one is full.
+func (s *Store) Place(id, m, n int) (Placement, error) {
+	if _, ok := s.objects[id]; ok {
+		return Placement{}, fmt.Errorf("core: object %d already placed", id)
+	}
+	if n*m > s.FreeFragments() {
+		return Placement{}, fmt.Errorf("core: object %d needs %d fragments, only %d free",
+			id, n*m, s.FreeFragments())
+	}
+	// Ring packing: the preferred start is just past the previous
+	// object's footprint, keeping starts on the k-grid so that
+	// same-geometry objects tile the farm evenly.
+	advance := (n-1)*s.layout.K + m
+	for try := 0; try < s.layout.D; try++ {
+		first := (s.cursor + try*s.layout.K) % s.layout.D
+		p, err := s.PlaceAt(id, first, m, n)
+		if err == nil {
+			s.cursor = (first + advance) % s.layout.D
+			return p, nil
+		}
+	}
+	// The k-grid is exhausted; scan every disk.
+	for first := 0; first < s.layout.D; first++ {
+		p, err := s.PlaceAt(id, first, m, n)
+		if err == nil {
+			s.cursor = (first + advance) % s.layout.D
+			return p, nil
+		}
+	}
+	return Placement{}, fmt.Errorf("core: no start disk can hold object %d (%d fragments)", id, n*m)
+}
+
+// Evict removes object id and frees its space.
+func (s *Store) Evict(id int) error {
+	p, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("core: object %d not placed", id)
+	}
+	s.apply(p, -1)
+	delete(s.objects, id)
+	return nil
+}

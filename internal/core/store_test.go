@@ -1,0 +1,321 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustStore(t testing.TB, l Layout, cap int) *Store {
+	t.Helper()
+	s, err := NewStore(l, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreValidation(t *testing.T) {
+	l := mustLayout(t, 10, 1)
+	if _, err := NewStore(l, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestStorePlaceEvictRoundTrip(t *testing.T) {
+	s := mustStore(t, mustLayout(t, 10, 1), 100)
+	p, err := s.Place(1, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Resident(1) || s.ResidentCount() != 1 {
+		t.Fatal("object not resident after Place")
+	}
+	got, ok := s.Placement(1)
+	if !ok || got != p {
+		t.Fatal("Placement lookup mismatch")
+	}
+	free := s.FreeFragments()
+	if want := 10*100 - 60; free != want {
+		t.Fatalf("free fragments = %d, want %d", free, want)
+	}
+	if err := s.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resident(1) || s.FreeFragments() != 1000 {
+		t.Fatal("eviction did not free space")
+	}
+	if err := s.Evict(1); err == nil {
+		t.Fatal("double evict succeeded")
+	}
+}
+
+func TestStoreRejectsDuplicate(t *testing.T) {
+	s := mustStore(t, mustLayout(t, 10, 1), 100)
+	if _, err := s.Place(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(1, 2, 5); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+	if _, err := s.PlaceAt(1, 0, 2, 5); err == nil {
+		t.Fatal("duplicate PlaceAt accepted")
+	}
+}
+
+func TestStoreCapacityEnforced(t *testing.T) {
+	s := mustStore(t, mustLayout(t, 4, 1), 10)
+	// Farm capacity = 40 fragments.  Place a 36-fragment object
+	// (9 subobjects × M=4, perfectly balanced: 9 per disk).
+	if _, err := s.Place(1, 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	// 4 fragments free (1 per disk); a 2-subobject M=4 object needs 2
+	// on some disks.
+	if _, err := s.Place(2, 4, 2); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+	// A 1-subobject M=4 object fits exactly.
+	if _, err := s.Place(3, 4, 1); err != nil {
+		t.Fatalf("exact-fit placement rejected: %v", err)
+	}
+	if s.FreeFragments() != 0 {
+		t.Fatalf("free = %d, want 0", s.FreeFragments())
+	}
+}
+
+// TestStoreTable3ExactFit reproduces the §4 configuration at reduced
+// scale proportions: D=1000, k=5, M=5, capacity 3000 cylinders, and
+// 200 objects of 3000 subobjects exactly fill the farm.
+func TestStoreTable3ExactFit(t *testing.T) {
+	s := mustStore(t, mustLayout(t, 1000, 5), 3000)
+	for id := 0; id < 200; id++ {
+		if _, err := s.Place(id, 5, 3000); err != nil {
+			t.Fatalf("object %d did not fit: %v", id, err)
+		}
+	}
+	if s.FreeFragments() != 0 {
+		t.Fatalf("farm not exactly full: %d fragments free", s.FreeFragments())
+	}
+	if _, err := s.Place(200, 5, 3000); err == nil {
+		t.Fatal("201st object accepted into a full farm")
+	}
+	// Evict one and the next fits again.
+	if err := s.Evict(17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(200, 5, 3000); err != nil {
+		t.Fatalf("replacement placement failed: %v", err)
+	}
+}
+
+func TestStoreResidentIDsSorted(t *testing.T) {
+	s := mustStore(t, mustLayout(t, 10, 1), 1000)
+	for _, id := range []int{5, 1, 9, 3} {
+		if _, err := s.Place(id, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.ResidentIDs()
+	want := []int{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ResidentIDs = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: used counters never go negative and free space is
+// conserved across arbitrary place/evict sequences.
+func TestStoreConservation(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		s, err := NewStore(Layout{D: 8, K: 3}, 50)
+		if err != nil {
+			return false
+		}
+		placed := map[int]bool{}
+		for _, op := range ops {
+			id := int(op % 16)
+			if placed[id] {
+				if s.Evict(id) != nil {
+					return false
+				}
+				placed[id] = false
+			} else {
+				if _, err := s.Place(id, int(op%3)+1, int(op%7)+1); err == nil {
+					placed[id] = true
+				}
+			}
+			total := 0
+			for d := 0; d < 8; d++ {
+				u := s.Used(d)
+				if u < 0 || u > 50 {
+					return false
+				}
+				total += 50 - u
+			}
+			if total != s.FreeFragments() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVDRStoreValidation(t *testing.T) {
+	if _, err := NewVDRStore(10, 3, 100); err == nil {
+		t.Error("non-divisible D/M accepted")
+	}
+	if _, err := NewVDRStore(10, 5, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestVDRStoreReplicaLifecycle(t *testing.T) {
+	v, err := NewVDRStore(20, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Clusters() != 4 {
+		t.Fatalf("clusters = %d, want 4", v.Clusters())
+	}
+	if err := v.PlaceReplica(7, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Resident(7) || !v.HasReplicaOn(7, 1) {
+		t.Fatal("replica not recorded")
+	}
+	if err := v.PlaceReplica(7, 1, 10); err == nil {
+		t.Fatal("duplicate replica on same cluster accepted")
+	}
+	if err := v.PlaceReplica(7, 2, 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Replicas(7)); got != 2 {
+		t.Fatalf("replica count = %d, want 2", got)
+	}
+	if v.UniqueResident() != 1 {
+		t.Fatal("unique resident count wrong")
+	}
+	if err := v.EvictReplica(7, 1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if v.HasReplicaOn(7, 1) || !v.Resident(7) {
+		t.Fatal("wrong replica evicted")
+	}
+	if err := v.EvictReplica(7, 3, 60); err == nil {
+		t.Fatal("evicting non-existent replica succeeded")
+	}
+	if err := v.EvictReplica(7, 2, 60); err != nil {
+		t.Fatal(err)
+	}
+	if v.Resident(7) {
+		t.Fatal("object still resident after last replica evicted")
+	}
+}
+
+func TestVDRStoreCapacity(t *testing.T) {
+	v, err := NewVDRStore(10, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PlaceReplica(1, 0, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PlaceReplica(2, 0, 30); err == nil {
+		t.Fatal("over-capacity replica accepted")
+	}
+	if err := v.PlaceReplica(2, 0, 20); err != nil {
+		t.Fatalf("exact-fit replica rejected: %v", err)
+	}
+	if v.ClusterFree(0) != 0 {
+		t.Fatalf("cluster free = %d, want 0", v.ClusterFree(0))
+	}
+}
+
+func TestVDRStoreFindFreeCluster(t *testing.T) {
+	v, err := NewVDRStore(15, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PlaceReplica(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.PlaceReplica(2, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := v.FindFreeCluster(3, 80)
+	if !ok || c != 2 {
+		t.Fatalf("FindFreeCluster = %d,%v, want cluster 2", c, ok)
+	}
+	// Prefers emptiest: for a 40-cylinder object, cluster 2 (100 free)
+	// beats cluster 1 (50 free).
+	c, ok = v.FindFreeCluster(3, 40)
+	if !ok || c != 2 {
+		t.Fatalf("FindFreeCluster(40) = %d,%v, want cluster 2", c, ok)
+	}
+	// Excludes clusters already holding a replica of the object.
+	c, ok = v.FindFreeCluster(2, 40)
+	if !ok || c != 2 {
+		t.Fatalf("FindFreeCluster must skip existing replica cluster: got %d,%v", c, ok)
+	}
+	// Nothing fits a 101-cylinder object.
+	if _, ok := v.FindFreeCluster(9, 101); ok {
+		t.Fatal("impossible fit reported")
+	}
+}
+
+func TestVDRClusterDisks(t *testing.T) {
+	v, err := NewVDRStore(15, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.ClusterDisks(2)
+	want := []int{10, 11, 12, 13, 14}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ClusterDisks(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestVDRTable3OneObjectPerCluster reproduces §4.1: "at most one
+// object can be assigned to a cluster (the storage capacity of the
+// cluster is exhausted by one object)".
+func TestVDRTable3OneObjectPerCluster(t *testing.T) {
+	v, err := NewVDRStore(1000, 5, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 200; id++ {
+		c, ok := v.FindFreeCluster(id, 3000)
+		if !ok {
+			t.Fatalf("no cluster for object %d", id)
+		}
+		if err := v.PlaceReplica(id, c, 3000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := v.FindFreeCluster(200, 3000); ok {
+		t.Fatal("201st object found space in a full farm")
+	}
+	if v.UniqueResident() != 200 {
+		t.Fatalf("unique resident = %d, want 200", v.UniqueResident())
+	}
+}
+
+func BenchmarkStorePlaceEvict(b *testing.B) {
+	s := mustStore(b, mustLayout(b, 1000, 5), 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Place(i, 5, 3000); err != nil {
+			// Farm full: evict the oldest id still resident.
+			_ = s.Evict(i - 200)
+			if _, err := s.Place(i, 5, 3000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

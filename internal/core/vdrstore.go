@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VDRStore is the storage allocator for the virtual data replication
+// baseline [GS93]: the D disks are partitioned into R = D/M physical
+// clusters, every object is declustered across the disks of exactly
+// one cluster, and hot objects may be replicated onto additional
+// clusters.  Within a cluster an object occupies n contiguous
+// cylinders on each disk (n = number of subobjects).
+type VDRStore struct {
+	d         int
+	m         int
+	clusters  int
+	capacity  int   // fragments (cylinders) per disk
+	used      []int // per-cluster used cylinders per member disk
+	replicas  map[int][]int
+	onCluster [][]int // reverse index: cluster -> resident object ids
+}
+
+// NewVDRStore returns a VDRStore for d disks grouped into clusters of
+// m, each disk holding capacityFragments fragments.
+func NewVDRStore(d, m, capacityFragments int) (*VDRStore, error) {
+	if m <= 0 || d <= 0 || d%m != 0 {
+		return nil, fmt.Errorf("core: VDR needs D (%d) to be a positive multiple of M (%d)", d, m)
+	}
+	if capacityFragments <= 0 {
+		return nil, fmt.Errorf("core: per-disk capacity %d must be positive", capacityFragments)
+	}
+	return &VDRStore{
+		d:         d,
+		m:         m,
+		clusters:  d / m,
+		capacity:  capacityFragments,
+		used:      make([]int, d/m),
+		replicas:  make(map[int][]int),
+		onCluster: make([][]int, d/m),
+	}, nil
+}
+
+// Clusters returns R, the number of clusters.
+func (v *VDRStore) Clusters() int { return v.clusters }
+
+// ClusterDisks returns the member disks of cluster c.
+func (v *VDRStore) ClusterDisks(c int) []int {
+	disks := make([]int, v.m)
+	for i := range disks {
+		disks[i] = c*v.m + i
+	}
+	return disks
+}
+
+// Replicas returns the clusters holding copies of object id, in
+// placement order.  The caller must not mutate the result.
+func (v *VDRStore) Replicas(id int) []int { return v.replicas[id] }
+
+// Resident reports whether at least one replica of id exists.
+func (v *VDRStore) Resident(id int) bool { return len(v.replicas[id]) > 0 }
+
+// ResidentIDs returns the ids of all resident objects in ascending
+// order.
+func (v *VDRStore) ResidentIDs() []int {
+	ids := make([]int, 0, len(v.replicas))
+	for id, r := range v.replicas {
+		if len(r) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// UniqueResident returns the number of distinct resident objects —
+// the quantity the paper contrasts with striping: replication reduces
+// it.
+func (v *VDRStore) UniqueResident() int {
+	n := 0
+	for _, r := range v.replicas {
+		if len(r) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterFree returns the free cylinders per member disk of cluster c.
+func (v *VDRStore) ClusterFree(c int) int { return v.capacity - v.used[c] }
+
+// HasReplicaOn reports whether cluster c holds a replica of id.
+func (v *VDRStore) HasReplicaOn(id, c int) bool {
+	for _, rc := range v.replicas[id] {
+		if rc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// PlaceReplica stores a replica of object id (n subobjects) on
+// cluster c.  Each member disk needs n free cylinders.
+func (v *VDRStore) PlaceReplica(id, c, n int) error {
+	if c < 0 || c >= v.clusters {
+		return fmt.Errorf("core: cluster %d out of range [0, %d)", c, v.clusters)
+	}
+	if n <= 0 {
+		return fmt.Errorf("core: replica needs at least one subobject, got %d", n)
+	}
+	if v.HasReplicaOn(id, c) {
+		return fmt.Errorf("core: object %d already has a replica on cluster %d", id, c)
+	}
+	if v.used[c]+n > v.capacity {
+		return fmt.Errorf("core: cluster %d has %d free cylinders, object %d needs %d",
+			c, v.ClusterFree(c), id, n)
+	}
+	v.used[c] += n
+	v.replicas[id] = append(v.replicas[id], c)
+	v.onCluster[c] = append(v.onCluster[c], id)
+	return nil
+}
+
+// ObjectsOn returns the ids of objects with a replica on cluster c,
+// in placement order.  The caller must not mutate the result.
+func (v *VDRStore) ObjectsOn(c int) []int { return v.onCluster[c] }
+
+// EvictReplica removes the replica of id on cluster c, freeing n
+// cylinders per member disk.
+func (v *VDRStore) EvictReplica(id, c, n int) error {
+	rs := v.replicas[id]
+	for i, rc := range rs {
+		if rc == c {
+			v.replicas[id] = append(rs[:i], rs[i+1:]...)
+			if len(v.replicas[id]) == 0 {
+				delete(v.replicas, id)
+			}
+			v.used[c] -= n
+			if v.used[c] < 0 {
+				return fmt.Errorf("core: cluster %d usage went negative", c)
+			}
+			for j, oid := range v.onCluster[c] {
+				if oid == id {
+					v.onCluster[c] = append(v.onCluster[c][:j], v.onCluster[c][j+1:]...)
+					break
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: object %d has no replica on cluster %d", id, c)
+}
+
+// FindFreeCluster returns a cluster with at least n free cylinders per
+// disk and no replica of id, preferring the emptiest; ok is false when
+// none exists.
+func (v *VDRStore) FindFreeCluster(id, n int) (cluster int, ok bool) {
+	best, bestFree := -1, -1
+	for c := 0; c < v.clusters; c++ {
+		free := v.ClusterFree(c)
+		if free >= n && !v.HasReplicaOn(id, c) && free > bestFree {
+			best, bestFree = c, free
+		}
+	}
+	return best, best >= 0
+}

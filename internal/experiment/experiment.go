@@ -1,0 +1,160 @@
+// Package experiment reproduces the paper's evaluation (§4): the
+// Figure 8 throughput curves, the Table 4 improvement matrix, and the
+// ablations DESIGN.md calls out (stride extremes, fragment size,
+// mixed media, tertiary tape layout).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/sched"
+	"github.com/mmsim/staggered/internal/tertiary"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+// Scale selects the experiment fidelity.
+type Scale int
+
+const (
+	// Full is the paper's Table 3 configuration: 1000 disks, 2000
+	// objects, 13.4 simulated hours per run.
+	Full Scale = iota
+	// Quick is a proportionally reduced configuration for tests and
+	// -short benchmarks: 50 disks, 40 objects, same structure.
+	Quick
+)
+
+// BaseConfig returns the simulation configuration for one run at the
+// given scale.
+func BaseConfig(scale Scale, stations int, mean float64, seed uint64) sched.Config {
+	if scale == Full {
+		return sched.Table3Config(stations, mean, seed)
+	}
+	return sched.Config{
+		D:                 50,
+		K:                 5,
+		CapacityFragments: 60,
+		Objects:           40,
+		Subobjects:        30,
+		M:                 5,
+		BDisk:             20e6,
+		FragmentBytes:     1512000,
+		Tertiary:          tertiary.Table3,
+		TapeLayout:        tertiary.DiskMatched,
+		Stations:          stations,
+		DistMean:          mean,
+		Seed:              seed,
+		WarmupIntervals:   600,
+		MeasureIntervals:  3000,
+	}
+}
+
+// Point is one x-position of a Figure 8 graph: both techniques at the
+// same station count.
+type Point struct {
+	Stations int
+	Striped  metrics.Run
+	VDR      metrics.Run
+}
+
+// Improvement returns the Table 4 quantity for this point.
+func (p Point) Improvement() float64 { return metrics.Improvement(p.Striped, p.VDR) }
+
+// Figure8 runs one graph of Figure 8: simple striping vs virtual data
+// replication across the station sweep for one access distribution.
+// Runs execute in parallel; results are deterministic per seed.
+func Figure8(scale Scale, mean float64, stations []int, seed uint64) ([]Point, error) {
+	if len(stations) == 0 {
+		stations = workload.PaperStations
+	}
+	points := make([]Point, len(stations))
+	errs := make([]error, len(stations))
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, st := range stations {
+		wg.Add(1)
+		go func(i, st int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := BaseConfig(scale, st, mean, seed)
+			se, err := sched.NewStriped(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rs := se.Run()
+			ve, err := sched.NewVDR(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rv := ve.Run()
+			points[i] = Point{Stations: st, Striped: rs, VDR: rv}
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// Figure8Render formats one graph as text: throughput in displays per
+// hour against the number of display stations.
+func Figure8Render(mean float64, points []Point) string {
+	striping := metrics.Series{Name: "simple striping", Points: map[int]float64{}}
+	vdr := metrics.Series{Name: "virtual replication", Points: map[int]float64{}}
+	for _, p := range points {
+		striping.Points[p.Stations] = p.Striped.Throughput()
+		vdr.Points[p.Stations] = p.VDR.Throughput()
+	}
+	title := fmt.Sprintf("Figure 8 (%s, geometric mean %v): throughput (displays/hour)",
+		workload.MeanLabel(mean), mean)
+	return metrics.RenderFigure(title, "stations", []metrics.Series{striping, vdr})
+}
+
+// Table4 builds the paper's Table 4 from the three Figure 8 graphs:
+// percentage improvement in throughput of simple striping over
+// virtual data replication at the reported station counts.
+func Table4(byMean map[float64][]Point) *metrics.Table {
+	rows := []int{16, 64, 128, 256}
+	tbl := &metrics.Table{Header: []string{
+		"# Display Stations", "10 (highly skewed)", "20 (skewed)", "43.5 (uniform)",
+	}}
+	for _, st := range rows {
+		cells := []string{fmt.Sprintf("%d", st)}
+		for _, mean := range workload.PaperMeans {
+			cell := "-"
+			for _, p := range byMean[mean] {
+				if p.Stations == st {
+					cell = fmt.Sprintf("%.2f%%", p.Improvement())
+				}
+			}
+			cells = append(cells, cell)
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}
+
+// RunAll runs the three distributions of Figure 8 and returns the
+// per-mean points (the input to both the figure renderings and
+// Table 4).
+func RunAll(scale Scale, stations []int, seed uint64) (map[float64][]Point, error) {
+	out := make(map[float64][]Point, len(workload.PaperMeans))
+	for _, mean := range workload.PaperMeans {
+		pts, err := Figure8(scale, mean, stations, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[mean] = pts
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReplicatedValidation(t *testing.T) {
+	if _, err := RunReplicated(Quick, 10, []int{4}, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+// TestSeedStability is the robustness check behind the headline
+// claim: across independent seeds, simple striping beats virtual data
+// replication at high load in every replication, and the spread is
+// small relative to the mean.
+func TestSeedStability(t *testing.T) {
+	pts, err := RunReplicated(Quick, 10, []int{32}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Seeds != 3 {
+		t.Fatalf("aggregate shape wrong: %+v", pts)
+	}
+	p := pts[0]
+	if p.ImprovementPct.Min() <= 0 {
+		t.Fatalf("a seed saw striping lose: improvements %v..%v",
+			p.ImprovementPct.Min(), p.ImprovementPct.Max())
+	}
+	if cv := p.StripedPerHour.StdDev() / p.StripedPerHour.Mean(); cv > 0.15 {
+		t.Fatalf("striping throughput unstable across seeds: cv=%v", cv)
+	}
+}
+
+func TestRenderReplicated(t *testing.T) {
+	pts, err := RunReplicated(Quick, 20, []int{4, 16}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderReplicated(20, pts)
+	for _, want := range []string{"2 seeds", "stations", "±"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

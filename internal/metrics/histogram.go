@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates observations into fixed buckets and answers
+// approximate quantile queries.  Buckets are defined by their upper
+// bounds; values above the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	total  int64
+	sum    float64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds not increasing at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}, nil
+}
+
+// LatencyHistogram returns buckets suitable for display-startup
+// latencies on the Table 3 farm: sub-second through one display time.
+func LatencyHistogram() *Histogram {
+	h, err := NewHistogram([]float64{0.7, 2, 5, 10, 30, 60, 120, 300, 600, 1814})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.total++
+	h.sum += x
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the exact mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1): the
+// upper bound of the bucket containing it, or +Inf when it falls in
+// the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0, 1]", q))
+	}
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		if run >= target {
+			if i == len(h.bounds) {
+				return math.Inf(1)
+			}
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// String renders a compact one-line-per-bucket view with counts and a
+// proportional bar.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	label := func(i int) string {
+		if i == 0 {
+			return fmt.Sprintf("<= %g", h.bounds[0])
+		}
+		if i == len(h.bounds) {
+			return fmt.Sprintf(" > %g", h.bounds[len(h.bounds)-1])
+		}
+		return fmt.Sprintf("<= %g", h.bounds[i])
+	}
+	for i, c := range h.counts {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(c*40/max))
+		}
+		fmt.Fprintf(&b, "%10s %8d %s\n", label(i), c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("decreasing bounds accepted")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 5, 50, 500} {
+		h.Add(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("n = %d", h.N())
+	}
+	// 0.5 and 1 in bucket 0; 5 in bucket 1; 50 in bucket 2; 500 overflow.
+	want := []int64{2, 1, 1, 1}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.counts, want)
+		}
+	}
+	if math.Abs(h.Mean()-(0.5+1+5+50+500)/5) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(0.5) // all in the first bucket
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("median bound = %v, want 1", got)
+	}
+	h.Add(100) // one overflow
+	if got := h.Quantile(1.0); !math.IsInf(got, 1) {
+		t.Fatalf("max bound = %v, want +Inf", got)
+	}
+	if (&Histogram{}).total != 0 {
+		t.Fatal("zero value not empty")
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	h := LatencyHistogram()
+	for _, q := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("quantile %v did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}
+
+// Property: the q-quantile bound is monotone in q and every
+// observation is ≤ the 1.0-quantile bound.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := LatencyHistogram()
+		for _, r := range raw {
+			h.Add(float64(r) / 10)
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			b := h.Quantile(q)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := LatencyHistogram()
+	for i := 0; i < 50; i++ {
+		h.Add(1.0)
+	}
+	h.Add(2000)
+	s := h.String()
+	if !strings.Contains(s, "<= 2") || !strings.Contains(s, "> 1814") {
+		t.Fatalf("rendering missing labels:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatalf("rendering missing bars:\n%s", s)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := LatencyHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}

@@ -1,0 +1,329 @@
+package playback
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mmsim/staggered/internal/core"
+)
+
+func allFree(int) bool { return true }
+func allBusy(int) bool { return false }
+
+func testPair(t testing.TB, d, k, n, ratio int) (*Session, core.Placement, core.Placement) {
+	t.Helper()
+	l, err := core.NewLayout(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, err := core.NewPlacement(l, 0, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := core.NewPlacement(l, d/2, 3, ReplicaSubobjects(n, ratio))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(normal, replica, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, normal, replica
+}
+
+func TestReplicaSubobjects(t *testing.T) {
+	cases := []struct{ n, ratio, want int }{
+		{3000, 16, 188}, // Table 3 object with the VHS ratio
+		{16, 16, 1},
+		{17, 16, 2},
+		{1, 16, 1},
+		{100, 10, 10},
+	}
+	for _, c := range cases {
+		if got := ReplicaSubobjects(c.n, c.ratio); got != c.want {
+			t.Errorf("ReplicaSubobjects(%d, %d) = %d, want %d", c.n, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestReplicaOverhead(t *testing.T) {
+	if got := ReplicaOverheadFraction(16); got != 1.0/16 {
+		t.Fatalf("overhead = %v, want 1/16", got)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	l, _ := core.NewLayout(10, 1)
+	normal, _ := core.NewPlacement(l, 0, 3, 100)
+	shortRep, _ := core.NewPlacement(l, 5, 3, 2) // needs ceil(100/16)=7
+	if _, err := NewSession(normal, shortRep, 16); err == nil {
+		t.Error("undersized replica accepted")
+	}
+	rep, _ := core.NewPlacement(l, 5, 3, 7)
+	if _, err := NewSession(normal, rep, 0); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	other, _ := core.NewLayout(12, 1)
+	repOther, _ := core.NewPlacement(other, 5, 3, 7)
+	if _, err := NewSession(normal, repOther, 16); err == nil {
+		t.Error("mismatched layouts accepted")
+	}
+}
+
+func TestNormalPlaythrough(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 32, 16)
+	for i := 0; i < 32; i++ {
+		shown, err := s.Tick(allFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shown != i {
+			t.Fatalf("interval %d showed subobject %d", i, shown)
+		}
+	}
+	if s.Mode() != Done || s.Played() != 32 {
+		t.Fatalf("mode %v, played %d", s.Mode(), s.Played())
+	}
+	if _, err := s.Tick(allFree); err == nil {
+		t.Fatal("tick after completion succeeded")
+	}
+}
+
+// TestScanIsRatioTimesFaster checks the §3.2.5 core property: fast
+// forward with scan covers the object about ratio× faster, displaying
+// roughly every ratio-th frame.
+func TestScanIsRatioTimesFaster(t *testing.T) {
+	const n, ratio = 160, 16
+	s, _, _ := testPair(t, 20, 1, n, ratio)
+	if err := s.StartScan(allFree); err != nil {
+		t.Fatal(err)
+	}
+	var shownSubobjects []int
+	for s.Mode() != Done {
+		shown, err := s.Tick(allFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shown >= 0 {
+			shownSubobjects = append(shownSubobjects, shown)
+		}
+	}
+	if len(shownSubobjects) != n/ratio {
+		t.Fatalf("scan displayed %d subobjects, want %d", len(shownSubobjects), n/ratio)
+	}
+	for i, sub := range shownSubobjects {
+		if sub != i*ratio {
+			t.Fatalf("scan frame %d shows subobject %d, want %d", i, sub, i*ratio)
+		}
+	}
+}
+
+func TestScanAndResume(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 320, 16)
+	// Play 10 subobjects.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Tick(allFree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scan for 5 replica subobjects (covers 80 normal ones).
+	if err := s.StartScan(allFree); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Tick(allFree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.StopScan(allFree); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != Playing {
+		t.Fatalf("mode after StopScan = %v", s.Mode())
+	}
+	shown, err := s.Tick(allFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Started scanning at 10 -> replica position 0; five replica
+	// frames advance to replica 5 = normal 80.
+	if shown != 80 {
+		t.Fatalf("resumed at subobject %d, want 80", shown)
+	}
+	if s.SwitchLag() != 0 {
+		t.Fatalf("idle-disk switches cost %d intervals, want 0", s.SwitchLag())
+	}
+}
+
+// TestSeekOnIdleDisksIsImmediate checks: "if the appropriate number
+// of disks that contain the referenced location ... are idle, then
+// the system can employ them to service the request immediately."
+func TestSeekOnIdleDisksIsImmediate(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 100, 16)
+	if err := s.Seek(57, allFree); err != nil {
+		t.Fatal(err)
+	}
+	shown, err := s.Tick(allFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shown != 57 {
+		t.Fatalf("after idle-disk seek showed %d, want 57", shown)
+	}
+	if s.SwitchLag() != 0 {
+		t.Fatal("idle-disk seek paid a delay")
+	}
+}
+
+// TestSeekOnBusyDisksWaitsForRotation checks the other §3.2.5 path:
+// with the target's disks busy, the session waits for its serving set
+// to rotate to the target position, showing nothing but (per the
+// paper) incurring no hiccup.
+func TestSeekOnBusyDisksWaitsForRotation(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 100, 16)
+	// Play to position 10.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Tick(allFree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seek(17, allBusy); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != Waiting {
+		t.Fatalf("mode = %v, want waiting", s.Mode())
+	}
+	waits := 0
+	for s.Mode() == Waiting {
+		shown, err := s.Tick(allBusy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shown != -1 {
+			t.Fatal("displayed data while waiting")
+		}
+		waits++
+	}
+	// Rotation distance from 10 to 17 with stride 1 on 20 disks: 7.
+	if waits != 7 {
+		t.Fatalf("waited %d intervals, want 7", waits)
+	}
+	shown, err := s.Tick(allFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shown != 17 {
+		t.Fatalf("resumed at %d, want 17", shown)
+	}
+	if s.SwitchLag() != 7 {
+		t.Fatalf("switch lag = %d, want 7", s.SwitchLag())
+	}
+}
+
+func TestRewind(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 100, 16)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Tick(allFree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seek(0, allFree); err != nil {
+		t.Fatal(err)
+	}
+	shown, err := s.Tick(allFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shown != 0 {
+		t.Fatalf("rewind resumed at %d, want 0", shown)
+	}
+}
+
+func TestSeekValidation(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 100, 16)
+	if err := s.Seek(-1, allFree); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if err := s.Seek(100, allFree); err == nil {
+		t.Error("out-of-range seek accepted")
+	}
+	if err := s.StopScan(allFree); err == nil {
+		t.Error("StopScan while playing accepted")
+	}
+}
+
+// TestScanBusyReplicaPaysInitiationDelay: switching to a busy replica
+// costs a transfer-initiation delay but still succeeds.
+func TestScanBusyReplicaPaysInitiationDelay(t *testing.T) {
+	s, _, _ := testPair(t, 20, 1, 320, 16)
+	if err := s.StartScan(allBusy); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != Waiting {
+		t.Fatalf("mode = %v, want waiting", s.Mode())
+	}
+	for s.Mode() == Waiting {
+		if _, err := s.Tick(allBusy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Mode() != Scanning {
+		t.Fatalf("mode = %v, want scanning", s.Mode())
+	}
+	if s.SwitchLag() == 0 {
+		t.Fatal("busy replica switch cost nothing")
+	}
+}
+
+// Property: after an arbitrary finite mix of scan/seek operations the
+// session still terminates once left alone, and it never shows an
+// out-of-range subobject.
+func TestSessionAlwaysTerminates(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		s, normal, _ := testPair(t, 24, 1, 96, 8)
+		for step := 0; step < len(ops) && s.Mode() != Done; step++ {
+			op := ops[step]
+			switch op % 7 {
+			case 0:
+				_ = s.StartScan(allFree)
+			case 1:
+				_ = s.StopScan(allFree)
+			case 2:
+				_ = s.Seek(int(op)%normal.N, allFree)
+			}
+			shown, err := s.Tick(allFree)
+			if err != nil {
+				return false
+			}
+			if shown >= normal.N {
+				return false
+			}
+		}
+		// Left alone, the session must finish within the object length
+		// plus one orbit of repositioning.
+		guard := normal.N + normal.Layout.D + 2
+		for s.Mode() != Done && guard > 0 {
+			guard--
+			shown, err := s.Tick(allFree)
+			if err != nil {
+				return false
+			}
+			if shown >= normal.N {
+				return false
+			}
+		}
+		return s.Mode() == Done
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSessionTick(b *testing.B) {
+	s, _, _ := testPair(b, 1000, 5, b.N+1, 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Tick(allFree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and the probability distributions used by the simulator.
+//
+// The paper's simulation was written in CSIM, which gives every model
+// component its own random stream so that changing one component does
+// not perturb the arrival pattern seen by another.  We reproduce that
+// discipline: a Source is split into independent Streams by name, and
+// each Stream is a self-contained PCG-XSH-RR generator.  Everything is
+// reproducible from a single root seed.
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Stream is a deterministic pseudo-random number generator based on
+// PCG-XSH-RR 64/32 (O'Neill 2014).  It is intentionally tiny: 16 bytes
+// of state, no heap allocation per draw, and fully reproducible.
+type Stream struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMultiplier = 6364136223846793005
+
+// NewStream returns a Stream seeded with seed on sequence seq.  Two
+// streams with different seq values are statistically independent even
+// when they share a seed.
+func NewStream(seed, seq uint64) *Stream {
+	s := &Stream{inc: (seq << 1) | 1}
+	s.state = 0
+	s.next()
+	s.state += seed
+	s.next()
+	return s
+}
+
+// next advances the generator and returns 32 uniform bits.
+func (s *Stream) next() uint32 {
+	old := s.state
+	s.state = old*pcgMultiplier + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns 64 uniform random bits.
+func (s *Stream) Uint64() uint64 {
+	return uint64(s.next())<<32 | uint64(s.next())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	// 53 bits of mantissa.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).  It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation on 32 bits when
+	// possible, falling back to 64-bit modulo for huge n.
+	if n <= math.MaxInt32 {
+		bound := uint32(n)
+		threshold := -bound % bound
+		for {
+			r := s.next()
+			m := uint64(r) * uint64(bound)
+			if uint32(m) >= threshold {
+				return int(m >> 32)
+			}
+		}
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Stream) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp called with non-positive mean")
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Source derives independent named Streams from a single root seed.
+// The name is hashed into the PCG sequence selector, so adding a new
+// consumer never perturbs existing consumers.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a Source rooted at seed.
+func NewSource(seed uint64) *Source {
+	return &Source{seed: seed}
+}
+
+// Stream returns the stream uniquely identified by name.  Calling it
+// twice with the same name returns streams that generate identical
+// sequences.
+func (s *Source) Stream(name string) *Stream {
+	h := fnv.New64a()
+	// fnv never fails on Write.
+	_, _ = h.Write([]byte(name))
+	return NewStream(s.seed, h.Sum64())
+}
+
+// StreamN returns the stream for a name/index pair, for per-entity
+// streams such as one stream per display station.
+func (s *Source) StreamN(name string, n int) *Stream {
+	return s.Stream(fmt.Sprintf("%s/%d", name, n))
+}

@@ -1,0 +1,234 @@
+// Package sched implements the Centralized Scheduler of the paper's
+// simulation model (§4.1) — the Object Manager, Disk Manager, and
+// Tertiary Manager — for both striping techniques and for the virtual
+// data replication baseline, together with the schedule renderings of
+// Figures 3 and 7.
+//
+// Following the paper, time is quantized into fixed intervals
+// (S(C_i), the service time of a cluster per activation); within an
+// interval a display occupies M_X disks and then shifts k disks to
+// the right.  The engines below advance interval by interval:
+// completions first, then tertiary progress, then admissions — the
+// same event order CSIM's process scheduling yields for this model.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/tertiary"
+)
+
+// Config parametrizes one simulation run.  The zero value is not
+// runnable; use Table3Config for the paper's configuration.
+type Config struct {
+	// Farm geometry.
+	D                 int // disks
+	K                 int // stride
+	CapacityFragments int // cylinders per disk
+
+	// Database: Objects identical objects of Subobjects subobjects,
+	// each declustered across M disks (single media type, Table 3).
+	Objects    int
+	Subobjects int
+	M          int
+
+	// Degrees optionally gives each object its own degree of
+	// declustering (mixed media types, §3.2); when nil every object
+	// uses M.  Only the striped engine supports mixed degrees.
+	Degrees []int
+
+	// Data rates: the effective per-disk bandwidth and the fixed
+	// fragment size, which together set the time interval
+	// T = FragmentBytes·8 / BDisk.
+	BDisk         float64 // bits/second
+	FragmentBytes float64
+
+	// Tertiary device.
+	Tertiary   tertiary.Spec
+	TapeLayout tertiary.TapeLayout
+
+	// Workload.
+	Stations int
+	DistMean float64
+	Seed     uint64
+
+	// Measurement.
+	WarmupIntervals  int
+	MeasureIntervals int
+
+	// PreloadTop pre-places the most popular objects up to the farm's
+	// capacity; 0 derives the count from the capacity.
+	PreloadTop int
+
+	// Fragmented enables Algorithm-1 admission on non-adjacent virtual
+	// disks; Coalescing additionally enables Algorithm 2.  MaxStartup
+	// bounds the admission Tmax in intervals (0 = twice the degree).
+	Fragmented bool
+	Coalescing bool
+	MaxStartup int
+
+	// ReplicationTheta tunes the VDR baseline's replication trigger
+	// (see policy.Replication); 0 selects the default.
+	ReplicationTheta float64
+
+	// ThinkMeanSeconds adds an exponentially distributed think time
+	// between a station's display completion and its next request, in
+	// both engines.  The paper uses zero think time "in order to
+	// stress the system"; non-zero values are an extension for
+	// sensitivity studies.
+	ThinkMeanSeconds float64
+
+	// FCFSStrict makes admission stop at the first queued request that
+	// cannot start (head-of-line blocking) instead of scanning the
+	// whole queue.  The paper's §5 leaves scheduling fairness to
+	// future work; this option quantifies the cost of the strictest
+	// policy.  Striped engine only.
+	FCFSStrict bool
+
+	// DiskToDiskCopy lets the VDR baseline create replicas by copying
+	// cluster-to-cluster at display bandwidth instead of staging them
+	// through the tertiary device.  [GS93]'s architecture materializes
+	// replicas from tertiary store (the default here); the disk-to-disk
+	// variant is offered as a more charitable ablation.
+	DiskToDiskCopy bool
+}
+
+// Table3Config returns the paper's §4.1 simulation configuration:
+// 1000 disks at 20 mbps, stride 5, 2000 objects of 3000 subobjects at
+// 100 mbps (M = 5), fragment = one 1.512 MB cylinder (interval
+// 0.6048 s), one 40 mbps tertiary device.
+func Table3Config(stations int, distMean float64, seed uint64) Config {
+	return Config{
+		D:                 1000,
+		K:                 5,
+		CapacityFragments: 3000,
+		Objects:           2000,
+		Subobjects:        3000,
+		M:                 5,
+		BDisk:             20e6,
+		FragmentBytes:     1512000,
+		Tertiary:          tertiary.Table3,
+		TapeLayout:        tertiary.DiskMatched,
+		Stations:          1,
+		DistMean:          20,
+		Seed:              seed,
+		WarmupIntervals:   20000,
+		MeasureIntervals:  60000,
+	}.withWorkload(stations, distMean)
+}
+
+func (c Config) withWorkload(stations int, distMean float64) Config {
+	c.Stations = stations
+	c.DistMean = distMean
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.D <= 0:
+		return fmt.Errorf("sched: D must be positive")
+	case c.K < 1 || c.K > c.D:
+		return fmt.Errorf("sched: stride %d out of range [1, %d]", c.K, c.D)
+	case c.M < 1 || c.M > c.D:
+		return fmt.Errorf("sched: M %d out of range [1, %d]", c.M, c.D)
+	case c.CapacityFragments <= 0:
+		return fmt.Errorf("sched: capacity must be positive")
+	case c.Objects <= 0 || c.Subobjects <= 0:
+		return fmt.Errorf("sched: database must be non-empty")
+	case c.BDisk <= 0:
+		return fmt.Errorf("sched: disk bandwidth must be positive")
+	case c.FragmentBytes <= 0:
+		return fmt.Errorf("sched: fragment size must be positive")
+	case c.Stations <= 0:
+		return fmt.Errorf("sched: need at least one station")
+	case c.DistMean <= 1:
+		return fmt.Errorf("sched: distribution mean must exceed 1")
+	case c.MeasureIntervals <= 0:
+		return fmt.Errorf("sched: measurement window must be positive")
+	case c.WarmupIntervals < 0:
+		return fmt.Errorf("sched: warmup must be non-negative")
+	case c.ThinkMeanSeconds < 0:
+		return fmt.Errorf("sched: think time must be non-negative")
+	}
+	if c.Degrees != nil {
+		if len(c.Degrees) != c.Objects {
+			return fmt.Errorf("sched: %d degrees for %d objects", len(c.Degrees), c.Objects)
+		}
+		for i, m := range c.Degrees {
+			if m < 1 || m > c.D {
+				return fmt.Errorf("sched: degree %d of object %d out of range [1, %d]", m, i, c.D)
+			}
+		}
+	}
+	return c.Tertiary.Validate()
+}
+
+// IntervalSeconds returns the duration of one time interval:
+// FragmentBytes·8 / BDisk (0.6048 s for Table 3).
+func (c Config) IntervalSeconds() float64 {
+	return c.FragmentBytes * 8 / c.BDisk
+}
+
+// Degree returns the degree of declustering of object id.
+func (c Config) Degree(id int) int {
+	if c.Degrees != nil {
+		return c.Degrees[id]
+	}
+	return c.M
+}
+
+// ObjectBits returns the size of one database object in bits:
+// Subobjects × M fragments.
+func (c Config) ObjectBits() float64 {
+	return c.FragmentBytes * 8 * float64(c.M) * float64(c.Subobjects)
+}
+
+// objectBitsOf returns the size of object id in bits.
+func (c Config) objectBitsOf(id int) float64 {
+	return c.FragmentBytes * 8 * float64(c.Degree(id)) * float64(c.Subobjects)
+}
+
+// DisplayIntervals returns the display length of one object: one
+// interval per subobject.
+func (c Config) DisplayIntervals() int { return c.Subobjects }
+
+// MaterializeIntervals returns the number of time intervals one
+// materialization of a default-degree object occupies the tertiary
+// device.
+func (c Config) MaterializeIntervals() int {
+	return c.materializeIntervalsFor(c.ObjectBits())
+}
+
+// MaterializeIntervalsOf returns the staging time of object id.
+func (c Config) MaterializeIntervalsOf(id int) int {
+	return c.materializeIntervalsFor(c.objectBitsOf(id))
+}
+
+func (c Config) materializeIntervalsFor(bits float64) int {
+	secs := c.Tertiary.MaterializeSeconds(bits, c.TapeLayout, c.IntervalSeconds())
+	iv := c.IntervalSeconds()
+	n := int(secs / iv)
+	if float64(n)*iv < secs {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DefaultPreload returns how many of the most popular objects fit on
+// the farm: floor(D·capacity / (M·N)).
+func (c Config) DefaultPreload() int {
+	perObject := c.M * c.Subobjects
+	n := c.D * c.CapacityFragments / perObject
+	if n > c.Objects {
+		n = c.Objects
+	}
+	return n
+}
+
+// Result is the outcome of one run.
+type Result = metrics.Run

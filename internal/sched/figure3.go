@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScheduledDisplay describes one mid-stream display for the Figure 3
+// schedule rendering: object Name is on cluster StartCluster at the
+// first rendered interval, about to read the subobject labelled
+// "Name(<IndexLabel>+1)", with Remaining subobjects left (0 =
+// unbounded within the rendered window).
+type ScheduledDisplay struct {
+	Name         string
+	IndexLabel   string
+	StartCluster int
+	Remaining    int
+}
+
+// ScheduleTable reproduces the presentation of Figure 3: rows are
+// time intervals 1..intervals, columns are clusters, and each cell is
+// "read X(i+1)" or "idle".  Displays advance one cluster per interval
+// (simple striping); a display that runs out of subobjects leaves a
+// rotating idle hole, which the paper notes would service newly
+// arriving requests.
+func ScheduleTable(clusters, intervals int, displays []ScheduledDisplay) ([][]string, error) {
+	if clusters <= 0 || intervals <= 0 {
+		return nil, fmt.Errorf("sched: schedule needs positive dimensions")
+	}
+	for _, d := range displays {
+		if d.StartCluster < 0 || d.StartCluster >= clusters {
+			return nil, fmt.Errorf("sched: display %q starts on cluster %d of %d", d.Name, d.StartCluster, clusters)
+		}
+	}
+	rows := make([][]string, intervals)
+	for t := 0; t < intervals; t++ {
+		row := make([]string, clusters)
+		for i := range row {
+			row[i] = "idle"
+		}
+		for _, d := range displays {
+			if d.Remaining > 0 && t >= d.Remaining {
+				continue // display has completed
+			}
+			c := (d.StartCluster + t) % clusters
+			if row[c] != "idle" {
+				return nil, fmt.Errorf("sched: interval %d cluster %d double-booked (%s vs %s)",
+					t+1, c, row[c], d.Name)
+			}
+			row[c] = fmt.Sprintf("read %s(%s+%d)", d.Name, d.IndexLabel, t+1)
+		}
+		rows[t] = row
+	}
+	return rows, nil
+}
+
+// Figure3 renders the paper's Figure 3: three displays X, Y, Z on a
+// 3-cluster farm with X two subobjects from its end.
+func Figure3(intervals int) (string, error) {
+	rows, err := ScheduleTable(3, intervals, []ScheduledDisplay{
+		{Name: "Z", IndexLabel: "k", StartCluster: 0},
+		{Name: "X", IndexLabel: "i", StartCluster: 1, Remaining: 2},
+		{Name: "Y", IndexLabel: "j", StartCluster: 2},
+	})
+	if err != nil {
+		return "", err
+	}
+	width := len("read X(i+99)")
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-4s", ""))
+	for c := 0; c < 3; c++ {
+		b.WriteString(fmt.Sprintf(" %-*s", width, fmt.Sprintf("CLUSTER %d", c)))
+	}
+	b.WriteByte('\n')
+	for t, row := range rows {
+		b.WriteString(fmt.Sprintf("%-4d", t+1))
+		for _, cell := range row {
+			b.WriteString(fmt.Sprintf(" %-*s", width, cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

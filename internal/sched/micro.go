@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/mmsim/staggered/internal/diskmodel"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
+)
+
+// MicroConfig drives the event-level (CSIM-style) validation model:
+// one display of N subobjects over M disks, with every seek,
+// rotational latency, and media transfer simulated individually.  It
+// exists to justify the interval quantization used by the throughput
+// engines: the worst-case interval S(C_i) must cover every actual
+// I/O, which the paper's §3.1 protocol assumes.
+type MicroConfig struct {
+	Disk          diskmodel.Spec
+	FragmentBytes float64
+	M             int // disks read in parallel
+	N             int // subobjects (intervals)
+	Seed          uint64
+
+	// IntervalSeconds overrides the interval length; 0 uses the
+	// worst-case service time S(C_i).  Setting it below the worst
+	// case demonstrates hiccups.
+	IntervalSeconds float64
+}
+
+// MicroResult reports the event-level run.
+type MicroResult struct {
+	IntervalSeconds float64
+	Hiccups         int     // intervals whose I/O overran the interval
+	MeanReadSeconds float64 // mean per-disk read time (reposition+transfer)
+	MaxReadSeconds  float64
+	DiskUtilization float64 // busy fraction of the M disks
+}
+
+// RunMicro executes the event-level model.
+func RunMicro(cfg MicroConfig) (MicroResult, error) {
+	if err := cfg.Disk.Validate(); err != nil {
+		return MicroResult{}, err
+	}
+	if cfg.M <= 0 || cfg.N <= 0 || cfg.FragmentBytes <= 0 {
+		return MicroResult{}, fmt.Errorf("sched: micro model needs positive M, N, fragment")
+	}
+	interval := cfg.IntervalSeconds
+	if interval == 0 {
+		interval = cfg.Disk.ServiceTime(cfg.FragmentBytes)
+	}
+
+	k := sim.New()
+	src := rng.NewSource(cfg.Seed)
+	var (
+		hiccups   int
+		readSum   float64
+		readMax   float64
+		reads     int
+		busy      float64
+		fragCyls  = cfg.Disk.CylinderCrossings(cfg.FragmentBytes) + 1
+		transfer  = cfg.Disk.TransferTime(cfg.FragmentBytes)
+		crossSeek = float64(cfg.Disk.CylinderCrossings(cfg.FragmentBytes)) * cfg.Disk.SeekMin
+	)
+	for m := 0; m < cfg.M; m++ {
+		stream := src.StreamN("disk", m)
+		pos := stream.Intn(cfg.Disk.Cylinders)
+		k.Spawn(fmt.Sprintf("disk-%d", m), func(p *sim.Process) {
+			for s := 0; s < cfg.N; s++ {
+				// The head repositions to the fragment's cylinder.  In
+				// the macro model consecutive fragments of an object
+				// sit on consecutive cylinders, but between displays
+				// the disk serves other requests, so each interval
+				// begins with a random-distance seek (the paper's
+				// T_switch budget covers the worst case).
+				target := stream.Intn(cfg.Disk.Cylinders - fragCyls)
+				dist := target - pos
+				if dist < 0 {
+					dist = -dist
+				}
+				pos = target + fragCyls - 1
+				seek := cfg.Disk.SeekTime(dist)
+				latency := stream.Uniform(0, cfg.Disk.LatencyMax)
+				io := seek + latency + crossSeek + transfer
+				p.Hold(sim.Time(io))
+				readSum += io
+				reads++
+				if io > readMax {
+					readMax = io
+				}
+				busy += io
+				if io > interval+1e-12 {
+					hiccups++
+				}
+				// Wait out the rest of the interval (synchronized
+				// activation at interval boundaries).
+				next := sim.Time(float64(s+1) * interval)
+				if next > p.Now() {
+					p.Hold(next - p.Now())
+				}
+			}
+		})
+	}
+	k.Run(sim.Infinity)
+	total := float64(cfg.N) * interval * float64(cfg.M)
+	res := MicroResult{
+		IntervalSeconds: interval,
+		Hiccups:         hiccups,
+		MeanReadSeconds: readSum / float64(reads),
+		MaxReadSeconds:  readMax,
+		DiskUtilization: busy / total,
+	}
+	return res, nil
+}

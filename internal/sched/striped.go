@@ -1,0 +1,559 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/mmsim/staggered/internal/core"
+	"github.com/mmsim/staggered/internal/policy"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/tertiary"
+	"github.com/mmsim/staggered/internal/vdisk"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+// request is one station's pending object reference.
+type request struct {
+	station int
+	object  int
+	arrived int // interval
+}
+
+// stream is one fragment stream of an active display: the global
+// virtual disk serving it and its alignment delay T_i relative to the
+// admission interval.
+type stream struct {
+	vdisk int
+	t     int
+}
+
+// display is an active delivery.
+type display struct {
+	id      int
+	station int
+	object  int
+	first   int // disk of the object's fragment (0,0)
+	tau0    int // admission interval
+	tmax    int
+	streams []stream
+}
+
+// deliveryEnd returns the interval during which the last subobject is
+// delivered.
+func (d *display) deliveryEnd(n int) int { return d.tau0 + d.tmax + n - 1 }
+
+// Striped simulates a staggered-striped disk farm (simple striping is
+// the special case K = M).  Occupancy is tracked in virtual-disk
+// space: physical disk f at interval t corresponds to virtual disk
+// (f − K·t) mod D, and a display's streams own fixed virtual disks
+// for the duration of their reads, so bookkeeping is O(1) per stream
+// per transition rather than per interval.
+type Striped struct {
+	cfg    Config
+	layout core.Layout
+	store  *core.Store
+	lfu    *policy.LFU
+	tman   *tertiary.Manager
+	gen    *workload.Generator
+	stn    *workload.Stations
+	think  []*rng.Stream // per-station think-time streams
+
+	vbusy []int // virtual disk -> owner display id, matOwner, or freeSlot
+
+	displays []*display
+	nextID   int
+	byObject map[int]int // object -> active display count
+
+	queue   []request
+	pinned  map[int]int   // object -> queued request count
+	wakeups map[int][]int // interval -> stations whose think time ends
+
+	ready map[int]bool // object resident and fully materialized
+
+	// Tertiary state.
+	matObject    int // object being staged, -1 when idle
+	matStarted   bool
+	matRemaining int
+	matVdisks    []int
+
+	now    int
+	tracer Tracer
+
+	// Counters (window handling in Run).
+	completed    int
+	materialized int
+	coalescings  int
+	hiccups      int
+	admitted     []float64 // admission latencies in seconds
+	busyArea     float64   // disk-busy integral in virtual-disk·intervals
+	tertBusy     int       // busy intervals
+}
+
+const (
+	freeSlot = -1
+	matOwner = -2
+)
+
+// NewStriped builds a striped engine from the configuration.
+func NewStriped(cfg Config) (*Striped, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := core.NewLayout(cfg.D, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.NewStore(layout, cfg.CapacityFragments)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
+	if err != nil {
+		return nil, err
+	}
+	e := &Striped{
+		cfg:       cfg,
+		layout:    layout,
+		store:     st,
+		lfu:       policy.NewLFU(),
+		tman:      tertiary.NewManager(),
+		gen:       gen,
+		stn:       workload.NewStations(gen),
+		vbusy:     make([]int, cfg.D),
+		byObject:  make(map[int]int),
+		pinned:    make(map[int]int),
+		wakeups:   make(map[int][]int),
+		ready:     make(map[int]bool),
+		matObject: -1,
+	}
+	if cfg.ThinkMeanSeconds > 0 {
+		src := rng.NewSource(cfg.Seed)
+		e.think = make([]*rng.Stream, cfg.Stations)
+		for i := range e.think {
+			e.think[i] = src.StreamN("think", i)
+		}
+	}
+	for i := range e.vbusy {
+		e.vbusy[i] = freeSlot
+	}
+	preload := cfg.PreloadTop
+	if preload == 0 {
+		preload = cfg.DefaultPreload()
+	}
+	// Best-effort fill: with strides whose footprints have ramps
+	// (k < M and short objects) the farm cannot always be packed to
+	// the last fragment, so preloading stops at the first object that
+	// no longer fits — exactly what on-demand materialization would
+	// have produced.
+	for _, id := range gen.TopObjects(preload) {
+		if _, err := e.store.Place(id, cfg.Degree(id), cfg.Subobjects); err != nil {
+			break
+		}
+		e.ready[id] = true
+	}
+	return e, nil
+}
+
+// vdiskOf maps physical disk f at the current interval to its global
+// virtual disk.
+func (e *Striped) vdiskOf(f int) int {
+	return vdisk.VirtualAt(f, e.now, e.cfg.K, e.cfg.D)
+}
+
+// enqueue issues a new reference for station s.
+func (e *Striped) enqueue(s int) {
+	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
+	req := request{station: r.Station, object: r.Object, arrived: e.now}
+	e.queue = append(e.queue, req)
+	e.pinned[req.object]++
+	e.lfu.Touch(req.object)
+	e.emit(EvRequest, req.object, req.station, "")
+}
+
+// step advances the simulation by one interval.
+func (e *Striped) step() {
+	if stations := e.wakeups[e.now]; stations != nil {
+		for _, st := range stations {
+			e.enqueue(st)
+		}
+		delete(e.wakeups, e.now)
+	}
+	e.finishDisplays()
+	e.stepTertiary()
+	e.admit()
+	if e.cfg.Coalescing {
+		e.coalesce()
+	}
+	busy := 0
+	for _, o := range e.vbusy {
+		if o != freeSlot {
+			busy++
+		}
+	}
+	e.busyArea += float64(busy)
+	e.now++
+}
+
+// finishDisplays releases stream disks whose reads have ended and
+// completes displays whose delivery has ended; completed stations
+// immediately reissue (zero think time).
+func (e *Striped) finishDisplays() {
+	n := e.cfg.Subobjects
+	kept := e.displays[:0]
+	var reissue []int
+	for _, d := range e.displays {
+		for i := range d.streams {
+			s := &d.streams[i]
+			if s.vdisk >= 0 && e.now == d.tau0+s.t+n {
+				if e.vbusy[s.vdisk] != d.id {
+					e.hiccups++
+				}
+				e.vbusy[s.vdisk] = freeSlot
+				s.vdisk = -1 // released
+			}
+		}
+		if e.now == d.deliveryEnd(n)+1 {
+			e.completed++
+			e.emit(EvComplete, d.object, d.station, "")
+			e.byObject[d.object]--
+			if e.byObject[d.object] == 0 {
+				delete(e.byObject, d.object)
+			}
+			e.stn.Complete(d.station)
+			reissue = append(reissue, d.station)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	e.displays = kept
+	for _, s := range reissue {
+		e.reissue(s)
+	}
+}
+
+// reissue starts station s's next request, after its think time when
+// one is configured.
+func (e *Striped) reissue(s int) {
+	if e.cfg.ThinkMeanSeconds <= 0 {
+		e.enqueue(s)
+		return
+	}
+	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
+	delay := int(secs / e.cfg.IntervalSeconds())
+	if delay < 1 {
+		delay = 1
+	}
+	at := e.now + delay
+	e.wakeups[at] = append(e.wakeups[at], s)
+}
+
+// stepTertiary advances the materialization pipeline.
+func (e *Striped) stepTertiary() {
+	if e.matObject >= 0 && e.matStarted {
+		e.tertBusy++
+		e.matRemaining--
+		if e.matRemaining == 0 {
+			e.finishMaterialization()
+		}
+		return
+	}
+	if e.matObject < 0 {
+		id, ok := e.tman.StartNext()
+		if !ok {
+			return
+		}
+		e.matObject = id
+	}
+	// Stage the pending object: secure space, then disks.
+	obj := e.matObject
+	if !e.store.Resident(obj) {
+		if !e.makeRoom(obj) {
+			return // retry next interval
+		}
+		if _, err := e.store.Place(obj, e.cfg.Degree(obj), e.cfg.Subobjects); err != nil {
+			return // still no contiguous start; retry
+		}
+	}
+	p, _ := e.store.Placement(obj)
+	w := e.cfg.Tertiary.DisksOccupied(e.cfg.BDisk)
+	if w > e.cfg.Degree(obj) {
+		w = e.cfg.Degree(obj)
+	}
+	vids := make([]int, w)
+	for j := 0; j < w; j++ {
+		v := e.vdiskOf((p.First + j) % e.cfg.D)
+		if e.vbusy[v] != freeSlot {
+			return // write disks busy; retry next interval
+		}
+		vids[j] = v
+	}
+	for _, v := range vids {
+		e.vbusy[v] = matOwner
+	}
+	e.matVdisks = vids
+	e.matStarted = true
+	e.matRemaining = e.cfg.MaterializeIntervalsOf(obj)
+	e.emit(EvMatStart, obj, -1, fmt.Sprintf("%d intervals", e.matRemaining+1))
+	e.tertBusy++ // the starting interval counts as busy
+	e.matRemaining--
+	if e.matRemaining == 0 {
+		e.finishMaterialization()
+	}
+}
+
+// finishMaterialization publishes the staged object and frees the
+// write disks and the device.
+func (e *Striped) finishMaterialization() {
+	e.emit(EvMatEnd, e.matObject, -1, "")
+	e.ready[e.matObject] = true
+	for _, v := range e.matVdisks {
+		e.vbusy[v] = freeSlot
+	}
+	e.matVdisks = nil
+	e.matObject = -1
+	e.matStarted = false
+	if _, err := e.tman.Finish(); err != nil {
+		e.hiccups++
+	}
+	e.materialized++
+}
+
+// makeRoom evicts least-frequently-accessed evictable objects until
+// the farm has space for obj.  It reports whether enough space exists.
+func (e *Striped) makeRoom(obj int) bool {
+	need := e.cfg.Degree(obj) * e.cfg.Subobjects
+	for e.store.FreeFragments() < need {
+		candidates := make([]int, 0, e.store.ResidentCount())
+		for _, id := range e.store.ResidentIDs() {
+			if e.evictable(id) {
+				candidates = append(candidates, id)
+			}
+		}
+		victim, ok := e.lfu.Victim(candidates)
+		if !ok {
+			return false
+		}
+		delete(e.ready, victim)
+		e.emit(EvEvict, victim, -1, "")
+		if err := e.store.Evict(victim); err != nil {
+			e.hiccups++
+			return false
+		}
+	}
+	return true
+}
+
+// evictable reports whether object id may be replaced: resident,
+// fully materialized, not being displayed, and not referenced by a
+// queued request.
+func (e *Striped) evictable(id int) bool {
+	return e.ready[id] && e.byObject[id] == 0 && e.pinned[id] == 0 && id != e.matObject
+}
+
+// fragmentedAttemptsPerInterval bounds how many queued requests may
+// run the (O(free disks × M)) Algorithm-1 search in one interval.
+const fragmentedAttemptsPerInterval = 8
+
+// admit scans the queue in arrival order and starts every display
+// whose disks are free, per §3.1's use of idle time intervals for new
+// requests.  Non-resident objects are routed to the tertiary manager.
+// With FCFSStrict the scan stops at the first request that cannot
+// start (head-of-line blocking).
+func (e *Striped) admit() {
+	kept := make([]request, 0, len(e.queue))
+	fragBudget := fragmentedAttemptsPerInterval
+	for qi, r := range e.queue {
+		if !e.ready[r.object] {
+			e.tman.Request(r.object)
+			kept = append(kept, r)
+			if e.cfg.FCFSStrict {
+				kept = append(kept, e.queue[qi+1:]...)
+				break
+			}
+			continue
+		}
+		p, ok := e.store.Placement(r.object)
+		if !ok { // evicted between materialization and admission
+			delete(e.ready, r.object)
+			e.tman.Request(r.object)
+			kept = append(kept, r)
+			if e.cfg.FCFSStrict {
+				kept = append(kept, e.queue[qi+1:]...)
+				break
+			}
+			continue
+		}
+		if e.tryAdmit(r, p, &fragBudget) {
+			e.pinned[r.object]--
+			if e.pinned[r.object] == 0 {
+				delete(e.pinned, r.object)
+			}
+			continue
+		}
+		kept = append(kept, r)
+		if e.cfg.FCFSStrict {
+			kept = append(kept, e.queue[qi+1:]...)
+			break
+		}
+	}
+	e.queue = kept
+}
+
+// tryAdmit attempts a contiguous admission, falling back to
+// time-fragmented admission (Algorithm 1) for the queue head when
+// enabled.
+func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
+	m := e.cfg.Degree(r.object)
+	// Contiguous: the M disks of subobject 0 must be free right now.
+	vids := make([]int, m)
+	okContig := true
+	for j := 0; j < m; j++ {
+		v := e.vdiskOf((p.First + j) % e.cfg.D)
+		if e.vbusy[v] != freeSlot {
+			okContig = false
+			break
+		}
+		vids[j] = v
+	}
+	if okContig {
+		e.start(r, p, vids, make([]int, m), 0)
+		return true
+	}
+	if !e.cfg.Fragmented || *fragBudget <= 0 {
+		return false
+	}
+	*fragBudget--
+	// Time-fragmented admission over all currently free disks.
+	free := make([]int, 0, 64)
+	for v, o := range e.vbusy {
+		if o == freeSlot {
+			free = append(free, vdisk.Physical(v, e.now, e.cfg.K, e.cfg.D))
+		}
+	}
+	a, ok := vdisk.ChooseVirtualDisks(e.cfg.D, e.cfg.K, p.First, m, free)
+	if !ok {
+		return false
+	}
+	maxStartup := e.cfg.MaxStartup
+	if maxStartup == 0 {
+		// Each interval of startup delay costs one buffered fragment
+		// per early stream and stretches the disk reservation past the
+		// display length, so unbounded Tmax hurts more than queueing a
+		// little longer; a few interval-widths of headroom captures
+		// nearly all of Algorithm 1's benefit.
+		maxStartup = 2 * m
+	}
+	if a.Tmax > maxStartup {
+		return false
+	}
+	gvids := make([]int, m)
+	ts := make([]int, m)
+	for i, z := range a.Z {
+		gvids[i] = e.vdiskOf(z)
+		ts[i] = a.T[i]
+	}
+	e.start(r, p, gvids, ts, a.Tmax)
+	return true
+}
+
+// start activates a display on the given virtual disks.
+func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
+	d := &display{
+		id:      e.nextID,
+		station: r.station,
+		object:  r.object,
+		first:   p.First,
+		tau0:    e.now,
+		tmax:    tmax,
+		streams: make([]stream, len(vids)),
+	}
+	e.nextID++
+	for i := range vids {
+		if e.vbusy[vids[i]] != freeSlot {
+			e.hiccups++
+		}
+		e.vbusy[vids[i]] = d.id
+		d.streams[i] = stream{vdisk: vids[i], t: ts[i]}
+	}
+	e.displays = append(e.displays, d)
+	e.byObject[r.object]++
+	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
+	e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
+}
+
+// coalesce applies Algorithm 2: any stream buffering ahead of the
+// display (T_i < Tmax) moves to the ideal virtual disk — the one a
+// contiguous admission at τ0+Tmax would have used — as soon as it is
+// free.
+func (e *Striped) coalesce() {
+	for _, d := range e.displays {
+		if d.tmax == 0 {
+			continue
+		}
+		for i := range d.streams {
+			s := &d.streams[i]
+			if s.vdisk < 0 || s.t == d.tmax {
+				continue
+			}
+			// The virtual disk a contiguous admission at τ0+Tmax
+			// would have used for fragment i.
+			ideal := vdisk.VirtualAt((d.first+i)%e.cfg.D, d.tau0+d.tmax, e.cfg.K, e.cfg.D)
+			if ideal == s.vdisk || e.vbusy[ideal] != freeSlot {
+				continue
+			}
+			e.vbusy[s.vdisk] = freeSlot
+			e.vbusy[ideal] = d.id
+			s.vdisk = ideal
+			s.t = d.tmax
+			e.coalescings++
+			e.emit(EvCoalesce, d.object, d.station, fmt.Sprintf("fragment %d", i))
+		}
+	}
+}
+
+// Run executes warm-up and measurement and returns the statistics.
+func (e *Striped) Run() Result {
+	if e.now != 0 {
+		panic("sched: Run called twice")
+	}
+	for s := 0; s < e.cfg.Stations; s++ {
+		e.enqueue(s)
+	}
+	for e.now < e.cfg.WarmupIntervals {
+		e.step()
+	}
+	// Reset window counters.
+	e.completed, e.materialized, e.coalescings = 0, 0, 0
+	e.admitted = e.admitted[:0]
+	e.busyArea, e.tertBusy = 0, 0
+
+	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
+	for e.now < end {
+		e.step()
+	}
+
+	res := Result{
+		Technique:       e.techniqueName(),
+		Stations:        e.cfg.Stations,
+		DistMean:        e.cfg.DistMean,
+		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
+		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
+		Displays:        e.completed,
+		Materializa:     e.materialized,
+		Hiccups:         e.hiccups,
+		Coalescings:     e.coalescings,
+		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
+		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
+		UniqueResidents: e.store.ResidentCount(),
+	}
+	for _, l := range e.admitted {
+		res.Latency.Add(l)
+	}
+	return res
+}
+
+func (e *Striped) techniqueName() string {
+	if e.cfg.K == e.cfg.M {
+		return "simple striping"
+	}
+	return fmt.Sprintf("staggered striping (k=%d)", e.cfg.K)
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "fmt"
+
+// EventKind classifies scheduler trace events.
+type EventKind int
+
+const (
+	// EvRequest is a station issuing a reference.
+	EvRequest EventKind = iota
+	// EvAdmit is a display starting.
+	EvAdmit
+	// EvComplete is a display delivering its last subobject.
+	EvComplete
+	// EvEvict is an object leaving the disk farm.
+	EvEvict
+	// EvMatStart is a materialization beginning to write.
+	EvMatStart
+	// EvMatEnd is a materialization completing.
+	EvMatEnd
+	// EvCoalesce is an Algorithm-2 stream move.
+	EvCoalesce
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRequest:
+		return "request"
+	case EvAdmit:
+		return "admit"
+	case EvComplete:
+		return "complete"
+	case EvEvict:
+		return "evict"
+	case EvMatStart:
+		return "mat-start"
+	case EvMatEnd:
+		return "mat-end"
+	case EvCoalesce:
+		return "coalesce"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduler occurrence, for debugging and for driving
+// external visualizations.
+type Event struct {
+	Interval int
+	Kind     EventKind
+	Object   int
+	Station  int // -1 when not applicable
+	Detail   string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Station >= 0 {
+		return fmt.Sprintf("[%6d] %-9s obj=%d station=%d %s", e.Interval, e.Kind, e.Object, e.Station, e.Detail)
+	}
+	return fmt.Sprintf("[%6d] %-9s obj=%d %s", e.Interval, e.Kind, e.Object, e.Detail)
+}
+
+// Tracer receives scheduler events as they happen.
+type Tracer func(Event)
+
+// SetTracer installs a tracer on the striped engine.  It must be
+// called before Run; a nil tracer disables tracing.
+func (e *Striped) SetTracer(t Tracer) { e.tracer = t }
+
+// emit sends an event to the tracer when one is installed.
+func (e *Striped) emit(kind EventKind, object, station int, detail string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer(Event{Interval: e.now, Kind: kind, Object: object, Station: station, Detail: detail})
+}

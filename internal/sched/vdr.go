@@ -1,0 +1,598 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mmsim/staggered/internal/core"
+	"github.com/mmsim/staggered/internal/policy"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/tertiary"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+// clusterJob describes what a busy cluster is doing.
+type clusterJob int
+
+const (
+	jobIdle clusterJob = iota
+	jobDisplay
+	jobCopySource
+	jobCopyTarget
+	jobMaterialize
+)
+
+// VDR simulates the virtual data replication baseline of [GS93]:
+// D/M physical clusters, each object declustered over the disks of a
+// single cluster, dynamic replication of hot objects (the MRT
+// substitute of package policy), and LFU replacement at cluster
+// granularity.  A cluster serves one display at a time.
+type VDR struct {
+	cfg   Config
+	store *core.VDRStore
+	lfu   *policy.LFU
+	repl  policy.Replication
+	tman  *tertiary.Manager
+	gen   *workload.Generator
+	stn   *workload.Stations
+	think []*rng.Stream // per-station think-time streams
+
+	clusters  int
+	job       []clusterJob
+	busyUntil []int // interval at which the cluster frees (exclusive)
+	jobObject []int // object the cluster is working on
+	station   []int // station of a display job
+
+	queue     []request
+	waiters   map[int]int   // object -> queued request count (also pins)
+	totalRefs int64         // references issued, for popularity shares
+	wakeups   map[int][]int // interval -> stations whose think time ends
+
+	// Replication stagings wait in their own low-priority queue:
+	// misses (real users waiting for a cold object) always reach the
+	// tertiary device first.
+	replQueue  []int
+	replQueued map[int]bool
+
+	// Tertiary state.
+	matObject   int
+	matStarted  bool
+	matCluster  int
+	matFromTman bool // current staging came from the miss queue
+
+	now int
+
+	completed    int
+	materialized int
+	replications int
+	hiccups      int
+	admitted     []float64
+	busyArea     float64
+	tertBusy     int
+}
+
+// NewVDR builds the baseline engine from the configuration (the
+// stride field is ignored; every object is pinned to one cluster,
+// which is the k = D special case).
+func NewVDR(cfg Config) (*VDR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.D%cfg.M != 0 {
+		return nil, fmt.Errorf("sched: VDR needs D (%d) divisible by M (%d)", cfg.D, cfg.M)
+	}
+	store, err := core.NewVDRStore(cfg.D, cfg.M, cfg.CapacityFragments)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
+	if err != nil {
+		return nil, err
+	}
+	repl := policy.Replication{Theta: cfg.ReplicationTheta}
+	if cfg.ReplicationTheta == 0 {
+		repl = policy.DefaultReplication()
+	}
+	if err := repl.Validate(); err != nil {
+		return nil, err
+	}
+	e := &VDR{
+		cfg:        cfg,
+		store:      store,
+		lfu:        policy.NewLFU(),
+		repl:       repl,
+		tman:       tertiary.NewManager(),
+		gen:        gen,
+		stn:        workload.NewStations(gen),
+		clusters:   cfg.D / cfg.M,
+		waiters:    make(map[int]int),
+		replQueued: make(map[int]bool),
+		wakeups:    make(map[int][]int),
+		matObject:  -1,
+	}
+	if cfg.ThinkMeanSeconds > 0 {
+		src := rng.NewSource(cfg.Seed)
+		e.think = make([]*rng.Stream, cfg.Stations)
+		for i := range e.think {
+			e.think[i] = src.StreamN("think", i)
+		}
+	}
+	e.job = make([]clusterJob, e.clusters)
+	e.busyUntil = make([]int, e.clusters)
+	e.jobObject = make([]int, e.clusters)
+	e.station = make([]int, e.clusters)
+	for c := range e.jobObject {
+		e.jobObject[c] = -1
+	}
+	// Warm-start the farm at the replication policy's steady state:
+	// replicas proportional to popularity (building a replica set
+	// through the 40 mbps tertiary takes days of simulated time, so
+	// starting cold would measure the transient, not the policy).
+	// Objects are loaded in popularity order, each up to its target
+	// replica count, but always preferring a first copy of the next
+	// object over a surplus copy of a hotter one once targets allow.
+	concurrency := cfg.Stations
+	preload := cfg.PreloadTop
+	if preload == 0 {
+		preload = cfg.Objects
+	}
+	// Candidate replicas in decreasing marginal value p(id)/copy#,
+	// capped at each object's target; placing greedily by marginal
+	// value yields the allocation a minimum-response-time policy
+	// converges to.
+	type cand struct {
+		id    int
+		copy  int
+		value float64
+	}
+	var cands []cand
+	for id := 0; id < preload && id < cfg.Objects; id++ {
+		p := gen.Popularity(id)
+		want := repl.Target(p, concurrency)
+		for j := 1; j <= want; j++ {
+			cands = append(cands, cand{id: id, copy: j, value: p / float64(j)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].value != cands[j].value {
+			return cands[i].value > cands[j].value
+		}
+		if cands[i].id != cands[j].id {
+			return cands[i].id < cands[j].id
+		}
+		return cands[i].copy < cands[j].copy
+	})
+	for _, cd := range cands {
+		c, ok := store.FindFreeCluster(cd.id, cfg.Subobjects)
+		if !ok {
+			continue
+		}
+		if err := store.PlaceReplica(cd.id, c, cfg.Subobjects); err != nil {
+			return nil, fmt.Errorf("sched: VDR preload failed: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// enqueue issues a new reference for station s.
+func (e *VDR) enqueue(s int) {
+	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
+	e.queue = append(e.queue, request{station: r.Station, object: r.Object, arrived: e.now})
+	e.waiters[r.Object]++
+	e.lfu.Touch(r.Object)
+	e.totalRefs++
+}
+
+// step advances one interval.
+func (e *VDR) step() {
+	if stations := e.wakeups[e.now]; stations != nil {
+		for _, st := range stations {
+			e.enqueue(st)
+		}
+		delete(e.wakeups, e.now)
+	}
+	e.finishClusters()
+	e.stepTertiary()
+	e.admit()
+	busyDisks := 0
+	for c := 0; c < e.clusters; c++ {
+		if e.job[c] != jobIdle {
+			busyDisks += e.cfg.M
+		}
+	}
+	e.busyArea += float64(busyDisks)
+	e.now++
+}
+
+// finishClusters completes any cluster job ending now.
+func (e *VDR) finishClusters() {
+	var reissue []int
+	for c := 0; c < e.clusters; c++ {
+		if e.job[c] == jobIdle || e.now < e.busyUntil[c] {
+			continue
+		}
+		switch e.job[c] {
+		case jobDisplay:
+			e.completed++
+			e.stn.Complete(e.station[c])
+			reissue = append(reissue, e.station[c])
+		case jobCopyTarget:
+			if err := e.store.PlaceReplica(e.jobObject[c], c, e.cfg.Subobjects); err != nil {
+				e.hiccups++
+			} else {
+				e.replications++
+			}
+		case jobCopySource:
+			// Released together with the target; nothing to record.
+		case jobMaterialize:
+			wasResident := e.store.Resident(e.matObject)
+			if err := e.store.PlaceReplica(e.matObject, c, e.cfg.Subobjects); err != nil {
+				e.hiccups++
+			} else if wasResident {
+				e.replications++
+			}
+			if e.matFromTman {
+				if _, err := e.tman.Finish(); err != nil {
+					e.hiccups++
+				}
+			}
+			e.materialized++
+			e.matObject = -1
+			e.matStarted = false
+		}
+		e.job[c] = jobIdle
+		e.jobObject[c] = -1
+	}
+	for _, s := range reissue {
+		e.reissue(s)
+	}
+}
+
+// reissue starts station s's next request, after its think time when
+// one is configured.
+func (e *VDR) reissue(s int) {
+	if e.cfg.ThinkMeanSeconds <= 0 {
+		e.enqueue(s)
+		return
+	}
+	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
+	delay := int(secs / e.cfg.IntervalSeconds())
+	if delay < 1 {
+		delay = 1
+	}
+	at := e.now + delay
+	e.wakeups[at] = append(e.wakeups[at], s)
+}
+
+// stepTertiary stages non-resident objects through the tertiary
+// device into an evicted cluster.
+func (e *VDR) stepTertiary() {
+	if e.matStarted {
+		e.tertBusy++
+		return // completion handled by finishClusters
+	}
+	if e.matObject < 0 {
+		if id, ok := e.tman.StartNext(); ok {
+			e.matObject = id
+			e.matFromTman = true
+		} else if len(e.replQueue) > 0 {
+			id := e.replQueue[0]
+			e.replQueue = e.replQueue[1:]
+			delete(e.replQueued, id)
+			e.matObject = id
+			e.matFromTman = false
+		} else {
+			return
+		}
+	}
+	c, drop, _, ok := e.victimCluster(e.matObject)
+	if !ok {
+		return // no evictable idle cluster; retry next interval
+	}
+	if !e.executePlan(c, drop) {
+		return
+	}
+	e.job[c] = jobMaterialize
+	e.jobObject[c] = e.matObject
+	e.busyUntil[c] = e.now + e.cfg.MaterializeIntervals()
+	e.matStarted = true
+	e.matCluster = c
+	e.tertBusy++
+}
+
+// objectsOn returns the resident objects with a replica on cluster c,
+// sorted for determinism.
+func (e *VDR) objectsOn(c int) []int {
+	out := append([]int(nil), e.store.ObjectsOn(c)...)
+	sort.Ints(out)
+	return out
+}
+
+// replicaEvictable reports whether the replica of id on an idle
+// cluster may be dropped: it is not the last copy of an object that
+// queued displays are waiting for.
+func (e *VDR) replicaEvictable(id int) bool {
+	return len(e.store.Replicas(id)) > 1 || e.waiters[id] == 0
+}
+
+// marginalValue estimates the cost of losing one replica of id: its
+// access frequency divided by its replica count (including copies in
+// flight).  Losing one of many replicas of a hot object costs less
+// than losing the only replica of a lukewarm one.
+func (e *VDR) marginalValue(id int) float64 {
+	reps := len(e.store.Replicas(id)) + e.copiesInFlight(id)
+	if reps < 1 {
+		reps = 1
+	}
+	return float64(e.lfu.Count(id)) / float64(reps)
+}
+
+// evictionPlan computes the cheapest set of replicas to drop from
+// cluster c so that `need` cylinders become free: evictable replicas
+// in increasing marginal-value order, stopping as soon as enough
+// space exists.  loss is the largest marginal value dropped.
+func (e *VDR) evictionPlan(c, need, forObject int) (drop []int, loss float64, ok bool) {
+	if e.job[c] != jobIdle {
+		return nil, 0, false
+	}
+	if forObject >= 0 && e.store.HasReplicaOn(forObject, c) {
+		return nil, 0, false // a replica of the object must not overwrite itself
+	}
+	free := e.store.ClusterFree(c)
+	if free >= need {
+		return nil, 0, true
+	}
+	objs := e.objectsOn(c)
+	sort.Slice(objs, func(i, j int) bool {
+		vi, vj := e.marginalValue(objs[i]), e.marginalValue(objs[j])
+		if vi != vj {
+			return vi < vj
+		}
+		// Equal marginal value (typically both zero): evict the
+		// youngest id first, protecting not-yet-referenced residents.
+		return objs[i] > objs[j]
+	})
+	for _, id := range objs {
+		if !e.replicaEvictable(id) {
+			continue
+		}
+		drop = append(drop, id)
+		free += e.cfg.Subobjects
+		if v := e.marginalValue(id); v > loss {
+			loss = v
+		}
+		if free >= need {
+			return drop, loss, true
+		}
+	}
+	return nil, 0, false
+}
+
+// victimCluster picks the cheapest cluster that can hold a new
+// replica of size Subobjects, returning its eviction plan and loss.
+func (e *VDR) victimCluster(forObject int) (cluster int, drop []int, loss float64, ok bool) {
+	best := -1
+	var bestDrop []int
+	bestLoss := 0.0
+	for c := 0; c < e.clusters; c++ {
+		d, l, planOK := e.evictionPlan(c, e.cfg.Subobjects, forObject)
+		if !planOK {
+			continue
+		}
+		if best < 0 || l < bestLoss {
+			best, bestDrop, bestLoss = c, d, l
+		}
+	}
+	if best < 0 {
+		return 0, nil, 0, false
+	}
+	return best, bestDrop, bestLoss, true
+}
+
+// executePlan evicts the planned replicas from cluster c.
+func (e *VDR) executePlan(c int, drop []int) bool {
+	for _, id := range drop {
+		if err := e.store.EvictReplica(id, c, e.cfg.Subobjects); err != nil {
+			e.hiccups++
+			return false
+		}
+	}
+	return true
+}
+
+// admit scans the queue in arrival order: requests for resident
+// objects start on an idle replica cluster; hot contended objects
+// trigger replication; non-resident objects go to the tertiary
+// manager.
+func (e *VDR) admit() {
+	kept := e.queue[:0]
+	for _, r := range e.queue {
+		if !e.store.Resident(r.object) {
+			if e.matObject != r.object {
+				e.tman.Request(r.object)
+			}
+			kept = append(kept, r)
+			continue
+		}
+		// Replication takes priority over admission for a contended
+		// object: otherwise a permanently-busy sole replica could
+		// never be copied (the idle interval would always be consumed
+		// by the next waiting display).
+		if !e.tman.Pending(r.object) && e.maybeReplicate(r.object) {
+			kept = append(kept, r)
+			continue
+		}
+		if c, ok := e.idleReplica(r.object); ok {
+			e.startDisplay(r, c)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.queue = kept
+}
+
+// idleReplica returns an idle cluster holding a replica of id.
+func (e *VDR) idleReplica(id int) (int, bool) {
+	reps := append([]int(nil), e.store.Replicas(id)...)
+	sort.Ints(reps)
+	for _, c := range reps {
+		if e.job[c] == jobIdle {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// copiesInFlight returns the number of replicas of id currently being
+// created, by disk-to-disk copy or by a pending/in-flight tertiary
+// staging of an already-resident object.
+func (e *VDR) copiesInFlight(id int) int {
+	n := 0
+	for c := 0; c < e.clusters; c++ {
+		if e.job[c] == jobCopyTarget && e.jobObject[c] == id {
+			n++
+		}
+	}
+	if e.store.Resident(id) && (e.tman.Pending(id) || e.replQueued[id] || e.matObject == id) {
+		n++
+	}
+	return n
+}
+
+// startDisplay occupies cluster c for one display of r.object.
+func (e *VDR) startDisplay(r request, c int) {
+	e.job[c] = jobDisplay
+	e.jobObject[c] = r.object
+	e.station[c] = r.station
+	e.busyUntil[c] = e.now + e.cfg.Subobjects
+	e.waiters[r.object]--
+	if e.waiters[r.object] == 0 {
+		delete(e.waiters, r.object)
+	}
+	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
+}
+
+// maybeReplicate creates an additional replica of a contended object
+// when the policy's benefit test passes.  In the faithful [GS93]
+// architecture the replica is staged through the tertiary device —
+// it joins the same FCFS queue as misses, which is precisely why
+// replication cannot keep up under heavy load.  With
+// Config.DiskToDiskCopy the replica is instead copied cluster-to-
+// cluster at display bandwidth (a charitable ablation).  It reports
+// whether the admission scan should keep the request queued because
+// an exclusive disk-to-disk copy was just started.
+func (e *VDR) maybeReplicate(obj int) bool {
+	replicas := len(e.store.Replicas(obj)) + e.copiesInFlight(obj)
+	share := 0.0
+	if e.totalRefs > 0 {
+		share = float64(e.lfu.Count(obj)) / float64(e.totalRefs)
+	}
+	target := e.repl.Target(share, e.cfg.Stations)
+	if !e.repl.ShouldReplicate(e.waiters[obj], replicas, target) {
+		return false
+	}
+	if !e.cfg.DiskToDiskCopy {
+		// The replica is staged through the tertiary device behind
+		// all miss materializations; the victim is chosen when the
+		// staging starts.  The device itself is the brake on
+		// replication volume — exactly the [GS93] architecture's
+		// limit.
+		if !e.replQueued[obj] && !e.tman.Pending(obj) && e.matObject != obj {
+			e.replQueued[obj] = true
+			e.replQueue = append(e.replQueue, obj)
+		}
+		return false // replication is asynchronous; keep admitting
+	}
+	// Cost/benefit with hysteresis: the marginal value of the new
+	// replica must clearly exceed what the cheapest victim cluster
+	// gives up, or replication would churn replicas back and forth.
+	_, _, loss, ok := e.victimCluster(obj)
+	if !ok {
+		return false
+	}
+	gain := float64(e.lfu.Count(obj)) / float64(replicas+1)
+	if gain <= 1.2*loss {
+		return false
+	}
+	return e.diskToDiskCopy(obj, replicas)
+}
+
+// diskToDiskCopy starts a cluster-to-cluster copy of obj, used only
+// by the DiskToDiskCopy ablation.
+func (e *VDR) diskToDiskCopy(obj, replicas int) bool {
+	// Bound the copy traffic: a small fixed share of the farm may be
+	// copying at any instant, so replication can never starve
+	// displays (the storms an unbounded trigger produces under zero
+	// think time swamp the farm with 2-cluster copy jobs).
+	maxCopies := e.clusters / 16
+	if maxCopies < 1 {
+		maxCopies = 1
+	}
+	copies := 0
+	for c := 0; c < e.clusters; c++ {
+		if e.job[c] == jobCopyTarget {
+			copies++
+		}
+	}
+	if copies >= maxCopies {
+		return false
+	}
+	src, ok := e.idleReplica(obj)
+	if !ok {
+		return false
+	}
+	dst, drop, _, ok := e.victimCluster(obj)
+	if !ok || dst == src {
+		return false
+	}
+	if !e.executePlan(dst, drop) {
+		return false
+	}
+	e.job[src] = jobCopySource
+	e.jobObject[src] = obj
+	e.busyUntil[src] = e.now + e.cfg.Subobjects
+	e.job[dst] = jobCopyTarget
+	e.jobObject[dst] = obj
+	e.busyUntil[dst] = e.now + e.cfg.Subobjects
+	return true
+}
+
+// Run executes warm-up and measurement and returns the statistics.
+func (e *VDR) Run() Result {
+	if e.now != 0 {
+		panic("sched: Run called twice")
+	}
+	for s := 0; s < e.cfg.Stations; s++ {
+		e.enqueue(s)
+	}
+	for e.now < e.cfg.WarmupIntervals {
+		e.step()
+	}
+	e.completed, e.materialized, e.replications = 0, 0, 0
+	e.admitted = e.admitted[:0]
+	e.busyArea, e.tertBusy = 0, 0
+
+	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
+	for e.now < end {
+		e.step()
+	}
+
+	res := Result{
+		Technique:       "virtual data replication",
+		Stations:        e.cfg.Stations,
+		DistMean:        e.cfg.DistMean,
+		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
+		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
+		Displays:        e.completed,
+		Materializa:     e.materialized,
+		Replications:    e.replications,
+		Hiccups:         e.hiccups,
+		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
+		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
+		UniqueResidents: e.store.UniqueResident(),
+	}
+	for _, l := range e.admitted {
+		res.Latency.Add(l)
+	}
+	return res
+}

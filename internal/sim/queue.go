@@ -1,0 +1,155 @@
+package sim
+
+import "fmt"
+
+// Queue is a CSIM-style passive FIFO with waiting-time statistics:
+// producers Put items, consumers Get them, blocking while the queue is
+// empty.  Unlike a Facility it carries data, and unlike a Signal every
+// item wakes exactly one consumer.
+type Queue struct {
+	k       *Kernel
+	name    string
+	items   []queued
+	waiters []*Process
+	// statistics
+	puts, gets int
+	waitTime   Time // accumulated item residence time
+	peak       int
+}
+
+type queued struct {
+	value any
+	at    Time
+}
+
+// NewQueue creates a named queue on kernel k.
+func (k *Kernel) NewQueue(name string) *Queue {
+	return &Queue{k: k, name: name}
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Puts and Gets return the operation counts.
+func (q *Queue) Puts() int { return q.puts }
+func (q *Queue) Gets() int { return q.gets }
+
+// Peak returns the largest queue length observed.
+func (q *Queue) Peak() int { return q.peak }
+
+// MeanWait returns the average item residence time.
+func (q *Queue) MeanWait() Time {
+	if q.gets == 0 {
+		return 0
+	}
+	return q.waitTime / Time(q.gets)
+}
+
+// Put enqueues v, waking one blocked consumer if any.  Put never
+// blocks (the queue is unbounded) and may be called from kernel or
+// process context.
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, queued{value: v, at: q.k.Now()})
+	q.puts++
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.blocked--
+		q.k.After(0, func() { w.run() })
+	}
+}
+
+// Get dequeues the oldest item, blocking the calling process while the
+// queue is empty.  Consumers are served FIFO.
+func (p *Process) Get(q *Queue) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.k.blocked++
+		p.pause()
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	q.waitTime += p.k.Now() - it.at
+	// If items remain and other consumers wait, let the next one run.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		p.k.blocked--
+		p.k.After(0, func() { w.run() })
+	}
+	return it.value
+}
+
+// TryGet dequeues without blocking; ok is false when empty.
+func (q *Queue) TryGet() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	q.waitTime += q.k.Now() - it.at
+	return it.value, true
+}
+
+// Mailbox is a one-slot rendezvous between processes: Send blocks
+// until a receiver takes the message; Receive blocks until a sender
+// arrives — CSIM's synchronous message passing.
+type Mailbox struct {
+	k        *Kernel
+	name     string
+	value    any
+	occupied bool
+	sender   *Process
+	rcvrs    []*Process
+}
+
+// NewMailbox creates a named mailbox on kernel k.
+func (k *Kernel) NewMailbox(name string) *Mailbox {
+	return &Mailbox{k: k, name: name}
+}
+
+// Send places v in the mailbox and blocks until a receiver consumes
+// it.  Only one sender may be in the mailbox at a time; a second
+// concurrent Send panics (it is always a model bug in a rendezvous).
+func (p *Process) Send(m *Mailbox, v any) {
+	if m.occupied {
+		panic(fmt.Sprintf("sim: concurrent Send on mailbox %q", m.name))
+	}
+	m.value = v
+	m.occupied = true
+	m.sender = p
+	if len(m.rcvrs) > 0 {
+		w := m.rcvrs[0]
+		m.rcvrs = m.rcvrs[1:]
+		p.k.blocked--
+		p.k.After(0, func() { w.run() })
+	}
+	p.k.blocked++
+	p.pause() // resumed by the receiver
+}
+
+// Receive blocks until a message is available, consumes it, and
+// unblocks the sender.
+func (p *Process) Receive(m *Mailbox) any {
+	for !m.occupied {
+		m.rcvrs = append(m.rcvrs, p)
+		p.k.blocked++
+		p.pause()
+	}
+	v := m.value
+	m.value = nil
+	m.occupied = false
+	s := m.sender
+	m.sender = nil
+	p.k.blocked--
+	p.k.After(0, func() { s.run() })
+	return v
+}

@@ -1,0 +1,144 @@
+// Package sim is a process-oriented discrete-event simulation kernel,
+// a pure-Go substitute for the CSIM library [Sch85] used by the paper.
+//
+// The kernel has two layers:
+//
+//   - An event calendar (binary heap keyed on simulated time, with FIFO
+//     tie-breaking) driving arbitrary callbacks.  This is the whole
+//     kernel for event-style models such as the interval-quantized
+//     scheduler used by the throughput experiments.
+//
+//   - A process layer in the CSIM style: a Process is a goroutine that
+//     can Hold (advance simulated time), Wait on a Signal, or acquire a
+//     Facility.  The kernel guarantees that exactly one process runs at
+//     a time and that the simulated clock is globally consistent, so
+//     models behave deterministically.
+//
+// The kernel is single-threaded from the model's point of view; the
+// goroutines used by the process layer are strictly hand-over-hand
+// scheduled and never run concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time float64
+
+// Infinity is a time later than any event.
+const Infinity = Time(math.MaxFloat64)
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation instance.  A Kernel is not safe
+// for concurrent use; all model code runs on the kernel's schedule.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+
+	// process layer bookkeeping
+	running   *Process // process currently executing, nil when in kernel
+	processes int      // live process count, for deadlock detection
+	blocked   int      // processes blocked on signals/facilities
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute simulated time t.  Scheduling in
+// the past panics: it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run dt seconds from now.
+func (k *Kernel) After(dt Time, fn func()) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", dt))
+	}
+	k.At(k.now+dt, fn)
+}
+
+// Stop halts the simulation after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the calendar empties, Stop is called, or
+// the clock passes horizon.  It returns the final simulated time.
+// Processes still blocked on signals, facilities, or queues when the
+// calendar empties simply never resume — the simulation has quiesced,
+// which is how CSIM models also end; Quiesced reports that state.
+func (k *Kernel) Run(horizon Time) Time {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.at > horizon {
+			k.now = horizon
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// Quiesced reports whether live processes remain but all of them are
+// blocked with an empty calendar — nothing can ever run again.  In a
+// model with self-sustaining processes this usually indicates a bug;
+// in producer/consumer models it is the normal end state.
+func (k *Kernel) Quiesced() bool {
+	return k.processes > 0 && k.processes == k.blocked && len(k.queue) == 0
+}
+
+// Step executes exactly one event if one exists, returning false when
+// the calendar is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.queue) }

@@ -1,0 +1,232 @@
+package tertiary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := Table3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Spec{Name: "bad", Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Spec{Name: "bad", Bandwidth: 1, Reposition: -1}).Validate(); err == nil {
+		t.Error("negative reposition accepted")
+	}
+}
+
+func TestDisksOccupied(t *testing.T) {
+	cases := []struct {
+		tert, disk float64
+		want       int
+	}{
+		{40e6, 20e6, 2}, // Table 3 / §3.2.4 example
+		{40e6, 30e6, 2},
+		{40e6, 40e6, 1},
+		{40e6, 50e6, 1},
+		{10e6, 20e6, 1},
+	}
+	for _, c := range cases {
+		s := Spec{Name: "t", Bandwidth: c.tert}
+		if got := s.DisksOccupied(c.disk); got != c.want {
+			t.Errorf("DisksOccupied(%v/%v) = %d, want %d", c.tert, c.disk, got, c.want)
+		}
+	}
+}
+
+// TestTable3MaterializationTime checks the headline cost: a Table 3
+// object (3000 subobjects × 5 fragments × 1.512 MB = 181,440 mbits)
+// takes 4536 s through the 40 mbps device with a matched tape.
+func TestTable3MaterializationTime(t *testing.T) {
+	objectBits := 3000.0 * 5 * 1512000 * 8
+	got := Table3.MaterializeSeconds(objectBits, DiskMatched, 0.6048)
+	if math.Abs(got-4536) > 1 {
+		t.Fatalf("materialization = %v s, want ~4536", got)
+	}
+}
+
+// TestSequentialLayoutPenalty checks §3.2.4: with a sequential tape
+// the device spends "a major fraction of its time repositioning its
+// head (wasteful work) instead of producing data".
+func TestSequentialLayoutPenalty(t *testing.T) {
+	objectBits := 1000 * 0.6048 * 40e6 // 1000 production bursts
+	matched := Table3.MaterializeSeconds(objectBits, DiskMatched, 0.6048)
+	seq := Table3.MaterializeSeconds(objectBits, Sequential, 0.6048)
+	if seq <= matched {
+		t.Fatalf("sequential (%v) not slower than matched (%v)", seq, matched)
+	}
+	// With a 5 s reposition per 0.6 s burst, almost 90% of the time is
+	// repositioning.
+	wasted := (seq - matched) / seq
+	if wasted < 0.85 {
+		t.Fatalf("wasted fraction = %v, want the reposition to dominate", wasted)
+	}
+}
+
+func TestMaterializeSecondsEdgeCases(t *testing.T) {
+	if got := Table3.MaterializeSeconds(0, DiskMatched, 1); got != 0 {
+		t.Errorf("zero-size object took %v s", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size did not panic")
+			}
+		}()
+		Table3.MaterializeSeconds(-1, DiskMatched, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero interval with sequential layout did not panic")
+			}
+		}()
+		Table3.MaterializeSeconds(1, Sequential, 0)
+	}()
+}
+
+func TestTapeOrderSection324Example(t *testing.T) {
+	// §3.2.4: fragments stored as X0.0, X0.1, X1.0, X1.1, X2.0, X2.1.
+	order, err := TapeOrder(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FragRef{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	if len(order) != len(want) {
+		t.Fatalf("order length = %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestTapeOrderCoversAllFragments(t *testing.T) {
+	err := quick.Check(func(mRaw, nRaw, wRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		n := int(nRaw%30) + 1
+		w := int(wRaw%4) + 1
+		order, err := TapeOrder(m, n, w)
+		if err != nil {
+			return false
+		}
+		if len(order) != m*n {
+			return false
+		}
+		seen := make(map[FragRef]bool, m*n)
+		for _, r := range order {
+			if r.Sub < 0 || r.Sub >= n || r.Frag < 0 || r.Frag >= m || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTapeOrderValidation(t *testing.T) {
+	if _, err := TapeOrder(0, 1, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := TapeOrder(1, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TapeOrder(1, 1, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+}
+
+func TestManagerFCFSAndDedup(t *testing.T) {
+	m := NewManager()
+	if m.Busy() || m.QueueLen() != 0 {
+		t.Fatal("new manager not idle")
+	}
+	if !m.Request(5) {
+		t.Fatal("first request not new")
+	}
+	if m.Request(5) {
+		t.Fatal("duplicate queued request reported new")
+	}
+	if !m.Request(9) || !m.Request(2) {
+		t.Fatal("distinct requests rejected")
+	}
+	if m.QueueLen() != 3 {
+		t.Fatalf("queue length = %d, want 3", m.QueueLen())
+	}
+
+	id, ok := m.StartNext()
+	if !ok || id != 5 {
+		t.Fatalf("StartNext = %d,%v, want 5 (FCFS)", id, ok)
+	}
+	if !m.Busy() || m.Inflight() != 5 {
+		t.Fatal("in-flight state wrong")
+	}
+	if m.Request(5) {
+		t.Fatal("request for in-flight object reported new")
+	}
+	if !m.Pending(5) || !m.Pending(9) || m.Pending(7) {
+		t.Fatal("Pending wrong")
+	}
+	if _, ok := m.StartNext(); ok {
+		t.Fatal("StartNext while busy succeeded")
+	}
+
+	done, err := m.Finish()
+	if err != nil || done != 5 {
+		t.Fatalf("Finish = %d,%v", done, err)
+	}
+	if m.Served() != 1 {
+		t.Fatalf("served = %d, want 1", m.Served())
+	}
+	if _, err := m.Finish(); err == nil {
+		t.Fatal("Finish while idle succeeded")
+	}
+
+	id, ok = m.StartNext()
+	if !ok || id != 9 {
+		t.Fatalf("second StartNext = %d,%v, want 9", id, ok)
+	}
+	m.Abort()
+	if m.Busy() || m.Served() != 1 {
+		t.Fatal("Abort did not reset in-flight without counting")
+	}
+	id, ok = m.StartNext()
+	if !ok || id != 2 {
+		t.Fatalf("third StartNext = %d,%v, want 2", id, ok)
+	}
+}
+
+// Property: a request becomes new again once the object has been both
+// dequeued and finished.
+func TestManagerRequeueAfterFinish(t *testing.T) {
+	m := NewManager()
+	m.Request(1)
+	if id, ok := m.StartNext(); !ok || id != 1 {
+		t.Fatal("start failed")
+	}
+	if _, err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Request(1) {
+		t.Fatal("re-request after finish not accepted as new")
+	}
+}
+
+func BenchmarkManagerCycle(b *testing.B) {
+	m := NewManager()
+	for i := 0; i < b.N; i++ {
+		m.Request(i % 100)
+		if _, ok := m.StartNext(); ok {
+			if _, err := m.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

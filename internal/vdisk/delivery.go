@@ -1,0 +1,208 @@
+package vdisk
+
+import "fmt"
+
+// Action records one disk or network operation performed during an
+// interval, for tracing and for the Figure 6 rendering.
+type Action struct {
+	Interval  int
+	Frag      int  // fragment index (stream)
+	Subobject int  // subobject number
+	VDisk     int  // virtual disk performing the action
+	Disk      int  // physical disk position at this interval
+	Read      bool // true = disk read, false = network output
+	Buffered  bool // for outputs: delivered from buffer rather than pipelined
+}
+
+// stream is the per-fragment state of Algorithm 1/2: which virtual
+// disk reads this fragment stream, how far it has read, and how many
+// fragments sit in its node's buffer.
+type stream struct {
+	vdisk    int // virtual disk id (physical position at interval 0 of the delivery clock)
+	nextRead int // next subobject to read
+	buffered int // fragments read but not yet delivered
+}
+
+// Delivery executes one display under Algorithm 1, with Algorithm 2's
+// dynamic coalescing available via Coalesce.  Intervals are counted
+// from the admission instant (interval 0).  The delivery of subobject
+// s happens at interval Tmax + s; the display is hiccup-free by
+// construction, and Step returns an error if any invariant breaks.
+type Delivery struct {
+	a        Assignment
+	n        int // subobjects
+	now      int // current interval (next Step executes this interval)
+	deliver  int // interval at which subobject 0 is delivered (= a.Tmax)
+	streams  []stream
+	maxBuf   int
+	done     bool
+	trace    bool
+	actions  []Action
+	coalesce int // count of completed coalescings
+}
+
+// NewDelivery prepares the delivery of an n-subobject object under
+// the given assignment.  With trace=true every action is recorded
+// (used for the Figure 6 rendering and the tests).
+func NewDelivery(a Assignment, n int, trace bool) (*Delivery, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vdisk: need at least one subobject, got %d", n)
+	}
+	d := &Delivery{a: a, n: n, deliver: a.Tmax, trace: trace}
+	d.streams = make([]stream, a.M)
+	for i := range d.streams {
+		d.streams[i] = stream{vdisk: a.Z[i], nextRead: 0}
+	}
+	return d, nil
+}
+
+// Done reports whether the last subobject has been delivered.
+func (d *Delivery) Done() bool { return d.done }
+
+// Now returns the next interval to execute.
+func (d *Delivery) Now() int { return d.now }
+
+// MaxBuffered returns the peak total buffered fragments observed.
+func (d *Delivery) MaxBuffered() int { return d.maxBuf }
+
+// Coalescings returns the number of completed coalesce operations.
+func (d *Delivery) Coalescings() int { return d.coalesce }
+
+// Actions returns the recorded trace (nil unless trace was requested).
+func (d *Delivery) Actions() []Action { return d.actions }
+
+// EndInterval returns the interval after which the display completes:
+// the last subobject is delivered at Tmax + n − 1.
+func (d *Delivery) EndInterval() int { return d.deliver + d.n - 1 }
+
+// record appends to the trace when tracing is on.
+func (d *Delivery) record(act Action) {
+	if d.trace {
+		d.actions = append(d.actions, act)
+	}
+}
+
+// Step executes one interval: every active stream whose virtual disk
+// is aligned with its next fragment reads it, and — once the startup
+// delay has elapsed — the fragments of the due subobject are delivered
+// to the network, each either pipelined directly from its disk read or
+// drawn from the node's buffer.
+func (d *Delivery) Step() error {
+	if d.done {
+		return fmt.Errorf("vdisk: Step after completion")
+	}
+	t := d.now
+
+	// Read phase.
+	readThisInterval := make([]bool, d.a.M)
+	for i := range d.streams {
+		st := &d.streams[i]
+		if st.nextRead >= d.n {
+			continue
+		}
+		pos := Physical(st.vdisk, t, d.a.K, d.a.D)
+		fragDisk := (d.a.First + st.nextRead*d.a.K + i) % d.a.D
+		if pos == fragDisk {
+			d.record(Action{Interval: t, Frag: i, Subobject: st.nextRead,
+				VDisk: st.vdisk, Disk: pos, Read: true})
+			st.nextRead++
+			st.buffered++
+			readThisInterval[i] = true
+		}
+	}
+
+	// Deliver phase.
+	sw := t - d.deliver
+	if sw >= 0 && sw < d.n {
+		for i := range d.streams {
+			st := &d.streams[i]
+			if st.buffered <= 0 {
+				return fmt.Errorf("vdisk: hiccup — fragment %d of subobject %d not available at interval %d", i, sw, t)
+			}
+			st.buffered--
+			// The delivery is pipelined straight from the disk only
+			// when the fragment delivered is the one read this very
+			// interval; otherwise it comes from the node's buffer.
+			pipelined := readThisInterval[i] && st.nextRead-1 == sw
+			d.record(Action{Interval: t, Frag: i, Subobject: sw,
+				VDisk: st.vdisk, Disk: Physical(st.vdisk, t, d.a.K, d.a.D),
+				Read: false, Buffered: !pipelined})
+		}
+		if sw == d.n-1 {
+			d.done = true
+		}
+	}
+
+	// Track the peak buffer population after delivery.
+	total := 0
+	for i := range d.streams {
+		total += d.streams[i].buffered
+	}
+	if total > d.maxBuf {
+		d.maxBuf = total
+	}
+
+	d.now++
+	return nil
+}
+
+// Run steps the delivery to completion and returns the final interval
+// executed.
+func (d *Delivery) Run() (int, error) {
+	guard := d.EndInterval() + d.a.D + 1
+	for !d.done {
+		if d.now > guard {
+			return d.now, fmt.Errorf("vdisk: delivery did not complete by interval %d", guard)
+		}
+		if err := d.Step(); err != nil {
+			return d.now, err
+		}
+	}
+	return d.now - 1, nil
+}
+
+// Coalesce moves fragment stream frag onto virtual disk newZ, which
+// must currently be free (the caller owns disk bookkeeping).  Per
+// Algorithm 2 the old virtual disk stops reading immediately; the
+// buffered backlog continues to be delivered, and the new virtual
+// disk enters a quiet period until it aligns with the first fragment
+// the old disk had not read.  Coalescing is rejected if the new
+// virtual disk would align too late to sustain hiccup-free delivery.
+func (d *Delivery) Coalesce(frag, newZ int) error {
+	if frag < 0 || frag >= d.a.M {
+		return fmt.Errorf("vdisk: fragment %d out of range", frag)
+	}
+	if d.done {
+		return fmt.Errorf("vdisk: coalesce after completion")
+	}
+	st := &d.streams[frag]
+	for i := range d.streams {
+		if d.streams[i].vdisk == newZ {
+			return fmt.Errorf("vdisk: virtual disk %d already serves fragment %d", newZ, i)
+		}
+	}
+	if st.nextRead >= d.n {
+		return fmt.Errorf("vdisk: fragment stream %d has finished reading", frag)
+	}
+	// The new virtual disk must reach the disk of fragment
+	// (st.nextRead, frag) no later than that subobject's delivery.
+	resume := st.nextRead
+	fragDisk := (d.a.First + resume*d.a.K + frag) % d.a.D
+	pos := Physical(newZ, d.now, d.a.K, d.a.D)
+	dt, ok := FirstAlignment(pos, fragDisk, d.a.K, d.a.D)
+	if !ok {
+		return fmt.Errorf("vdisk: virtual disk %d can never align with fragment %d", newZ, frag)
+	}
+	// While waiting dt intervals, reads of this stream stop but
+	// deliveries continue: the buffered backlog must cover them.  The
+	// stream's backlog covers deliveries of subobjects up to
+	// resume−1; delivery of subobject `resume` happens at interval
+	// deliver+resume, and the new disk reads it at now+dt.
+	if d.now+dt > d.deliver+resume {
+		return fmt.Errorf("vdisk: coalescing fragment %d onto virtual disk %d would hiccup (aligns %d intervals late)",
+			frag, newZ, d.now+dt-(d.deliver+resume))
+	}
+	st.vdisk = newZ
+	d.coalesce++
+	return nil
+}

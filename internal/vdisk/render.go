@@ -1,0 +1,101 @@
+package vdisk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTimeline formats a delivery trace as an interval-by-disk
+// table in the style of Figure 6: each cell shows the fragment read
+// from that physical disk ("rd X3.0") and/or delivered through that
+// node ("tx X3.1*", the star marking delivery from buffer).
+func RenderTimeline(actions []Action, d int) string {
+	if len(actions) == 0 {
+		return "(no actions)\n"
+	}
+	maxT := 0
+	for _, a := range actions {
+		if a.Interval > maxT {
+			maxT = a.Interval
+		}
+	}
+	type cellKey struct{ t, disk int }
+	cells := make(map[cellKey][]string)
+	for _, a := range actions {
+		key := cellKey{a.Interval, a.Disk}
+		var s string
+		if a.Read {
+			s = fmt.Sprintf("rd X%d.%d", a.Subobject, a.Frag)
+		} else {
+			star := ""
+			if a.Buffered {
+				star = "*"
+			}
+			s = fmt.Sprintf("tx X%d.%d%s", a.Subobject, a.Frag, star)
+		}
+		cells[key] = append(cells[key], s)
+	}
+	const width = 9
+	var b strings.Builder
+	b.WriteString("t   ")
+	for disk := 0; disk < d; disk++ {
+		b.WriteString(fmt.Sprintf("| %-*s", width, fmt.Sprintf("disk %d", disk)))
+	}
+	b.WriteString("\n")
+	for t := 0; t <= maxT; t++ {
+		lines := 1
+		for disk := 0; disk < d; disk++ {
+			if n := len(cells[cellKey{t, disk}]); n > lines {
+				lines = n
+			}
+		}
+		for l := 0; l < lines; l++ {
+			if l == 0 {
+				b.WriteString(fmt.Sprintf("%-4d", t))
+			} else {
+				b.WriteString("    ")
+			}
+			for disk := 0; disk < d; disk++ {
+				cs := cells[cellKey{t, disk}]
+				sort.Strings(cs)
+				cell := ""
+				if l < len(cs) {
+					cell = cs[l]
+				}
+				b.WriteString(fmt.Sprintf("| %-*s", width, cell))
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("(* = delivered from buffer)\n")
+	return b.String()
+}
+
+// Figure6 replays the §3.2.1 scenario — D=8, k=1, M=2, X starting on
+// disk 0 with only disks 1 and 6 free, coalescing fragment 1 onto
+// virtual disk 7 at interval 5 — and renders its timeline.
+func Figure6(n int) (string, error) {
+	a, ok := ChooseVirtualDisks(8, 1, 0, 2, []int{1, 6})
+	if !ok {
+		return "", fmt.Errorf("vdisk: figure 6 assignment infeasible")
+	}
+	del, err := NewDelivery(a, n, true)
+	if err != nil {
+		return "", err
+	}
+	for del.Now() < 5 && !del.Done() {
+		if err := del.Step(); err != nil {
+			return "", err
+		}
+	}
+	if !del.Done() {
+		if err := del.Coalesce(1, 7); err != nil {
+			return "", err
+		}
+	}
+	if _, err := del.Run(); err != nil {
+		return "", err
+	}
+	return RenderTimeline(del.Actions(), 8), nil
+}

@@ -1,0 +1,72 @@
+package vdisk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	if got := RenderTimeline(nil, 4); !strings.Contains(got, "no actions") {
+		t.Fatalf("empty timeline rendered %q", got)
+	}
+}
+
+func TestFigure6Rendering(t *testing.T) {
+	s, err := Figure6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The narrative's key moments must be visible in the rendering.
+	for _, want := range []string{
+		"disk 0",
+		"rd X0.1",  // disk 1 reads X0.1 at t=0
+		"rd X0.0",  // disk 0 read at t=2
+		"tx X0.1*", // X0.1 delivered from buffer
+		"tx X3.0",  // X3.0 pipelined at t=5
+		"tx X4.1*", // X4.1 drained from backlog at t=6
+		"rd X5.1",  // the coalesced virtual disk resumes reads
+		"delivered from buffer",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 6 rendering missing %q:\n%s", want, s)
+		}
+	}
+	// After coalescing completes (t >= 7), no buffered deliveries.
+	lines := strings.Split(s, "\n")
+	for _, line := range lines {
+		if strings.HasPrefix(line, "7 ") || strings.HasPrefix(line, "8 ") || strings.HasPrefix(line, "9 ") {
+			if strings.Contains(line, "*") {
+				t.Errorf("buffered delivery after coalescing completed: %q", line)
+			}
+		}
+	}
+}
+
+func TestFigure6ShortObject(t *testing.T) {
+	// Object finishes before the coalescing point: the scenario must
+	// still complete without error.
+	if _, err := Figure6(3); err != nil {
+		t.Fatalf("short figure-6 run failed: %v", err)
+	}
+}
+
+func TestRenderTimelineShowsAllIntervals(t *testing.T) {
+	a, ok := ChooseVirtualDisks(8, 1, 0, 2, []int{1, 6})
+	if !ok {
+		t.Fatal("no assignment")
+	}
+	del, err := NewDelivery(a, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := del.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := RenderTimeline(del.Actions(), 8)
+	// Delivery ends at Tmax+n-1 = 5; every interval row 0..5 present.
+	for _, row := range []string{"\n0 ", "\n1 ", "\n2 ", "\n3 ", "\n4 ", "\n5 "} {
+		if !strings.Contains(s, row) {
+			t.Errorf("timeline missing interval row %q:\n%s", strings.TrimSpace(row), s)
+		}
+	}
+}

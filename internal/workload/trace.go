@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace is a recorded reference string: per station, the sequence of
+// object ids it will request.  Traces make experiments reproducible
+// across implementations and let recorded production workloads drive
+// the simulator in place of the synthetic geometric distribution.
+type Trace struct {
+	perStation [][]int
+	cursors    []int
+	objects    int
+}
+
+// NewTrace builds a trace for the given number of stations over a
+// catalog of n objects; refs[s] is station s's reference sequence.
+func NewTrace(refs [][]int, objects int) (*Trace, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("workload: trace needs at least one station")
+	}
+	if objects <= 0 {
+		return nil, fmt.Errorf("workload: trace needs a positive catalog size")
+	}
+	for s, seq := range refs {
+		if len(seq) == 0 {
+			return nil, fmt.Errorf("workload: station %d has an empty reference sequence", s)
+		}
+		for i, id := range seq {
+			if id < 0 || id >= objects {
+				return nil, fmt.Errorf("workload: station %d ref %d: object %d out of range [0, %d)",
+					s, i, id, objects)
+			}
+		}
+	}
+	t := &Trace{perStation: refs, cursors: make([]int, len(refs)), objects: objects}
+	return t, nil
+}
+
+// ParseTrace reads a text trace: one line per station, comma-separated
+// object ids.  Blank lines and lines starting with '#' are skipped.
+func ParseTrace(r io.Reader, objects int) (*Trace, error) {
+	var refs [][]int
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var seq []int
+		for _, f := range strings.Split(text, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: %v", line, err)
+			}
+			seq = append(seq, id)
+		}
+		refs = append(refs, seq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(refs, objects)
+}
+
+// Stations returns the number of stations in the trace.
+func (t *Trace) Stations() int { return len(t.perStation) }
+
+// Draw returns station s's next reference; exhausted stations wrap
+// around to the start of their sequence (a closed system never stops
+// issuing).
+func (t *Trace) Draw(s int) int {
+	seq := t.perStation[s]
+	id := seq[t.cursors[s]%len(seq)]
+	t.cursors[s]++
+	return id
+}
+
+// Remaining returns how many unconsumed references station s has
+// before wrapping.
+func (t *Trace) Remaining(s int) int {
+	if r := len(t.perStation[s]) - t.cursors[s]; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Record captures the first n draws of each station of a Generator as
+// a Trace, so a synthetic workload can be frozen and replayed.
+func Record(g *Generator, n int) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need at least one reference per station")
+	}
+	refs := make([][]int, g.Stations())
+	for s := range refs {
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = g.Draw(s)
+		}
+		refs[s] = seq
+	}
+	return NewTrace(refs, g.dist.Len())
+}
+
+// Format renders the trace in the ParseTrace text format.
+func (t *Trace) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d stations over %d objects\n", len(t.perStation), t.objects)
+	for _, seq := range t.perStation {
+		for i, id := range seq {
+			if i > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(id)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mmsim/staggered/internal/rng"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil, 10); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace([][]int{{1}}, 0); err == nil {
+		t.Error("zero catalog accepted")
+	}
+	if _, err := NewTrace([][]int{{}}, 10); err == nil {
+		t.Error("empty station sequence accepted")
+	}
+	if _, err := NewTrace([][]int{{10}}, 10); err == nil {
+		t.Error("out-of-range reference accepted")
+	}
+	if _, err := NewTrace([][]int{{-1}}, 10); err == nil {
+		t.Error("negative reference accepted")
+	}
+}
+
+func TestTraceDrawAndWrap(t *testing.T) {
+	tr, err := NewTrace([][]int{{3, 1, 4}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 4, 3, 1} // wraps after exhaustion
+	for i, w := range want {
+		if got := tr.Draw(0); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	if tr.Remaining(0) != 0 {
+		t.Fatalf("remaining = %d after wrap", tr.Remaining(0))
+	}
+}
+
+func TestTraceRemaining(t *testing.T) {
+	tr, err := NewTrace([][]int{{1, 2, 3, 4}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Remaining(0) != 4 {
+		t.Fatalf("remaining = %d, want 4", tr.Remaining(0))
+	}
+	tr.Draw(0)
+	if tr.Remaining(0) != 3 {
+		t.Fatalf("remaining = %d, want 3", tr.Remaining(0))
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	src := "# comment\n3,1,4\n\n2, 7 ,2\n"
+	tr, err := ParseTrace(strings.NewReader(src), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stations() != 2 {
+		t.Fatalf("stations = %d", tr.Stations())
+	}
+	if tr.Draw(0) != 3 || tr.Draw(1) != 2 {
+		t.Fatal("parsed values wrong")
+	}
+	if _, err := ParseTrace(strings.NewReader("1,x,3"), 10); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseTrace(strings.NewReader("99"), 10); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	g, err := NewGenerator(rng.NewSource(5), 100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the trace reproduces the generator's stream.
+	g2, err := NewGenerator(rng.NewSource(5), 100, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for s := 0; s < 3; s++ {
+			if tr.Draw(s) != g2.Draw(s) {
+				t.Fatalf("trace diverged from generator at draw %d station %d", i, s)
+			}
+		}
+	}
+	if _, err := Record(g, 0); err == nil {
+		t.Error("zero-length record accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := NewTrace([][]int{{3, 1, 4}, {2, 7}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Stations() != 2 {
+		t.Fatalf("stations = %d", parsed.Stations())
+	}
+	for _, want := range []int{3, 1, 4} {
+		if got := parsed.Draw(0); got != want {
+			t.Fatalf("round trip draw = %d, want %d", got, want)
+		}
+	}
+}
