@@ -1,0 +1,141 @@
+// Command bench is the performance-regression harness for the
+// interval engines: it runs the simulation-heavy benchmarks through
+// testing.Benchmark and writes a machine-readable report (default
+// BENCH_1.json) with ns/op, B/op, and allocs/op next to the recorded
+// pre-overhaul baseline, so a hot-path regression shows up as a
+// speedup ratio sliding toward 1.  scripts/ci.sh runs it on every
+// change.
+//
+// Usage:
+//
+//	bench                 # write BENCH_1.json in the current directory
+//	bench -out report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/mmsim/staggered/internal/experiment"
+)
+
+// baseline records the pre-overhaul numbers of the engines'
+// scan-everything hot paths (commit "growth seed", -benchtime 5x,
+// GOMAXPROCS=1, Intel Xeon 2.10GHz) — the denominator of the speedup
+// column.
+var baseline = map[string]Measurement{
+	"BenchmarkFigure8a": {NsPerOp: 37718189, BytesPerOp: 19064489, AllocsPerOp: 284294},
+	"BenchmarkFigure8b": {NsPerOp: 29827336, BytesPerOp: 13335126, AllocsPerOp: 125745},
+	"BenchmarkFigure8c": {NsPerOp: 25207092, BytesPerOp: 12471476, AllocsPerOp: 89857},
+	"BenchmarkTable4":   {NsPerOp: 72270958, BytesPerOp: 35492416, AllocsPerOp: 411666},
+}
+
+// Measurement is one benchmark's cost per operation.
+type Measurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Entry is one benchmark's report row.
+type Entry struct {
+	Name     string       `json:"name"`
+	Iters    int          `json:"iterations"`
+	Current  Measurement  `json:"current"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op; AllocRatio
+	// is baseline allocs/op divided by current allocs/op.
+	Speedup    float64 `json:"speedup,omitempty"`
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Report is the BENCH_1.json document.
+type Report struct {
+	Note    string  `json:"note"`
+	Results []Entry `json:"results"`
+}
+
+func benchFigure8(mean float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.Figure8(experiment.Quick, mean, []int{1, 8, 32, 64}, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchTable4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAll(experiment.Quick, []int{16, 64}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("out", "BENCH_1.json", "report file")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkFigure8a", benchFigure8(10)},
+		{"BenchmarkFigure8b", benchFigure8(20)},
+		{"BenchmarkFigure8c", benchFigure8(43.5)},
+		{"BenchmarkTable4", benchTable4},
+	}
+
+	report := Report{
+		Note: "interval-engine regression harness; baseline = pre-overhaul scan-everything hot paths",
+	}
+	for _, bm := range benches {
+		res := testing.Benchmark(bm.fn)
+		entry := Entry{
+			Name:  bm.name,
+			Iters: res.N,
+			Current: Measurement{
+				NsPerOp:     res.NsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			},
+		}
+		if base, ok := baseline[bm.name]; ok {
+			b := base
+			entry.Baseline = &b
+			if entry.Current.NsPerOp > 0 {
+				entry.Speedup = float64(b.NsPerOp) / float64(entry.Current.NsPerOp)
+			}
+			if entry.Current.AllocsPerOp > 0 {
+				entry.AllocRatio = float64(b.AllocsPerOp) / float64(entry.Current.AllocsPerOp)
+			}
+		}
+		report.Results = append(report.Results, entry)
+		fmt.Printf("%-18s %d iters  %12d ns/op  %10d B/op  %8d allocs/op  %.2fx\n",
+			bm.name, res.N, entry.Current.NsPerOp, entry.Current.BytesPerOp,
+			entry.Current.AllocsPerOp, entry.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return 0
+}

@@ -17,11 +17,18 @@ import (
 
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/profiling"
 	"github.com/mmsim/staggered/internal/sched"
 	"github.com/mmsim/staggered/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the program body so deferred cleanup (the profile
+// writers) executes before the process exits.
+func run() (code int) {
 	technique := flag.String("technique", "striped", "striped (k=M), staggered (with -stride), or vdr")
 	stations := flag.Int("stations", 64, "number of display stations (closed system)")
 	dist := flag.Float64("dist", 20, "geometric access-distribution mean (10, 20, 43.5)")
@@ -31,6 +38,8 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warm-up intervals (0 = scale default)")
 	measure := flag.Int("measure", 0, "measurement intervals (0 = scale default)")
 	trace := flag.Int("trace", 0, "print the first N scheduler events (striped/staggered only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scale := experiment.Full
@@ -38,8 +47,22 @@ func main() {
 		scale = experiment.Quick
 	} else if *scaleFlag != "full" {
 		fmt.Fprintf(os.Stderr, "ssim: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	cfg := experiment.BaseConfig(scale, *stations, *dist, *seed)
 	if *warmup > 0 {
@@ -53,7 +76,10 @@ func main() {
 	switch *technique {
 	case "striped":
 		eng, err := sched.NewStriped(cfg)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+			return 1
+		}
 		installTracer(eng, *trace)
 		res = eng.Run()
 	case "staggered":
@@ -64,19 +90,26 @@ func main() {
 		cfg.Fragmented = true
 		cfg.Coalescing = true
 		eng, err := sched.NewStriped(cfg)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+			return 1
+		}
 		installTracer(eng, *trace)
 		res = eng.Run()
 	case "vdr":
 		eng, err := sched.NewVDR(cfg)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+			return 1
+		}
 		res = eng.Run()
 	default:
 		fmt.Fprintf(os.Stderr, "ssim: unknown technique %q\n", *technique)
-		os.Exit(2)
+		return 2
 	}
 
 	printResult(cfg, res)
+	return 0
 }
 
 // installTracer prints the first n scheduler events.
@@ -91,13 +124,6 @@ func installTracer(eng *sched.Striped, n int) {
 			printed++
 		}
 	})
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
-		os.Exit(1)
-	}
 }
 
 func printResult(cfg sched.Config, r metrics.Run) {

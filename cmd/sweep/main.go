@@ -22,15 +22,24 @@ import (
 
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/metrics"
+	"github.com/mmsim/staggered/internal/profiling"
 	"github.com/mmsim/staggered/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the program body so deferred cleanup (the profile
+// writers) executes before the process exits.
+func run() (code int) {
 	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3) or quick")
 	dist := flag.Float64("dist", 0, "run a single distribution mean (10, 20, or 43.5); 0 = all")
 	stationsFlag := flag.String("stations", "", "comma-separated station counts; empty = paper sweep 1..256")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scale := experiment.Full
@@ -40,14 +49,28 @@ func main() {
 		scale = experiment.Quick
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	stations, err := parseStations(*stationsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	means := workload.PaperMeans
 	if *dist != 0 {
@@ -59,7 +82,7 @@ func main() {
 		pts, err := experiment.Figure8(scale, mean, stations, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		byMean[mean] = pts
 		if *csv {
@@ -79,6 +102,7 @@ func main() {
 			fmt.Println(tbl.String())
 		}
 	}
+	return 0
 }
 
 func parseStations(s string) ([]int, error) {

@@ -2,17 +2,22 @@ package core
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Store is the storage allocator for a staggered-striped disk farm.
 // It tracks per-disk occupancy in fragments, chooses start disks for
 // newly materialized objects, and releases space on eviction.
+// Residency is a dense slice indexed by object id (ids are small
+// non-negative integers), so the Resident/Placement probes on the
+// schedulers' per-interval admission path are array lookups.
 type Store struct {
 	layout   Layout
 	capacity int // fragments per disk
 	used     []int
-	objects  map[int]Placement
+	free     int // total free fragments across the farm
+	placed   []Placement // indexed by object id; valid iff resident[id]
+	resident []bool
+	count    int // number of placed objects
 	cursor   int // round-robin start hint
 }
 
@@ -26,8 +31,20 @@ func NewStore(l Layout, capacityFragments int) (*Store, error) {
 		layout:   l,
 		capacity: capacityFragments,
 		used:     make([]int, l.D),
-		objects:  make(map[int]Placement),
+		free:     l.D * capacityFragments,
 	}, nil
+}
+
+// grow extends the residency index to cover id.
+func (s *Store) grow(id int) {
+	if id >= len(s.resident) {
+		nextP := make([]Placement, id+1)
+		copy(nextP, s.placed)
+		s.placed = nextP
+		nextR := make([]bool, id+1)
+		copy(nextR, s.resident)
+		s.resident = nextR
+	}
 }
 
 // Layout returns the store's layout.
@@ -38,26 +55,28 @@ func (s *Store) CapacityFragments() int { return s.capacity }
 
 // Resident reports whether the object id is placed.
 func (s *Store) Resident(id int) bool {
-	_, ok := s.objects[id]
-	return ok
+	return id >= 0 && id < len(s.resident) && s.resident[id]
 }
 
 // Placement returns the placement of object id.
 func (s *Store) Placement(id int) (Placement, bool) {
-	p, ok := s.objects[id]
-	return p, ok
+	if !s.Resident(id) {
+		return Placement{}, false
+	}
+	return s.placed[id], true
 }
 
 // ResidentCount returns the number of placed objects.
-func (s *Store) ResidentCount() int { return len(s.objects) }
+func (s *Store) ResidentCount() int { return s.count }
 
 // ResidentIDs returns the ids of all placed objects in ascending order.
 func (s *Store) ResidentIDs() []int {
-	ids := make([]int, 0, len(s.objects))
-	for id := range s.objects {
-		ids = append(ids, id)
+	ids := make([]int, 0, s.count)
+	for id, ok := range s.resident {
+		if ok {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 
@@ -65,13 +84,7 @@ func (s *Store) ResidentIDs() []int {
 func (s *Store) Used(d int) int { return s.used[d] }
 
 // FreeFragments returns the total free fragments across the farm.
-func (s *Store) FreeFragments() int {
-	free := 0
-	for _, u := range s.used {
-		free += s.capacity - u
-	}
-	return free
-}
+func (s *Store) FreeFragments() int { return s.free }
 
 // fits reports whether the placement's footprint fits in the free
 // space of every disk it touches.
@@ -88,6 +101,7 @@ func (s *Store) fits(p Placement) bool {
 func (s *Store) apply(p Placement, sign int) {
 	for d, c := range p.FragmentsPerDisk() {
 		s.used[d] += sign * c
+		s.free -= sign * c
 	}
 }
 
@@ -95,7 +109,7 @@ func (s *Store) apply(p Placement, sign int) {
 // a specific disk.  It fails if the object is already placed or does
 // not fit.
 func (s *Store) PlaceAt(id, first, m, n int) (Placement, error) {
-	if _, ok := s.objects[id]; ok {
+	if s.Resident(id) {
 		return Placement{}, fmt.Errorf("core: object %d already placed", id)
 	}
 	p, err := NewPlacement(s.layout, first, m, n)
@@ -107,7 +121,10 @@ func (s *Store) PlaceAt(id, first, m, n int) (Placement, error) {
 			id, p.TotalFragments(), first)
 	}
 	s.apply(p, +1)
-	s.objects[id] = p
+	s.grow(id)
+	s.placed[id] = p
+	s.resident[id] = true
+	s.count++
 	return p, nil
 }
 
@@ -117,7 +134,7 @@ func (s *Store) PlaceAt(id, first, m, n int) (Placement, error) {
 // stride so that equal objects tile the farm, falling back to a scan
 // of all start positions if the preferred one is full.
 func (s *Store) Place(id, m, n int) (Placement, error) {
-	if _, ok := s.objects[id]; ok {
+	if s.Resident(id) {
 		return Placement{}, fmt.Errorf("core: object %d already placed", id)
 	}
 	if n*m > s.FreeFragments() {
@@ -149,11 +166,12 @@ func (s *Store) Place(id, m, n int) (Placement, error) {
 
 // Evict removes object id and frees its space.
 func (s *Store) Evict(id int) error {
-	p, ok := s.objects[id]
-	if !ok {
+	if !s.Resident(id) {
 		return fmt.Errorf("core: object %d not placed", id)
 	}
-	s.apply(p, -1)
-	delete(s.objects, id)
+	s.apply(s.placed[id], -1)
+	s.placed[id] = Placement{}
+	s.resident[id] = false
+	s.count--
 	return nil
 }

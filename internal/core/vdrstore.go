@@ -11,14 +11,20 @@ import (
 // one cluster, and hot objects may be replicated onto additional
 // clusters.  Within a cluster an object occupies n contiguous
 // cylinders on each disk (n = number of subobjects).
+//
+// The replica table is a dense slice indexed by object id and both
+// index directions (object -> clusters, cluster -> objects) are kept
+// sorted ascending, so the scheduler's per-interval probes need
+// neither map lookups nor per-call copies.
 type VDRStore struct {
 	d         int
 	m         int
 	clusters  int
-	capacity  int   // fragments (cylinders) per disk
-	used      []int // per-cluster used cylinders per member disk
-	replicas  map[int][]int
-	onCluster [][]int // reverse index: cluster -> resident object ids
+	capacity  int     // fragments (cylinders) per disk
+	used      []int   // per-cluster used cylinders per member disk
+	replicas  [][]int // object id -> clusters holding a copy, sorted
+	unique    int     // objects with at least one replica
+	onCluster [][]int // reverse index: cluster -> resident object ids, sorted
 }
 
 // NewVDRStore returns a VDRStore for d disks grouped into clusters of
@@ -36,9 +42,26 @@ func NewVDRStore(d, m, capacityFragments int) (*VDRStore, error) {
 		clusters:  d / m,
 		capacity:  capacityFragments,
 		used:      make([]int, d/m),
-		replicas:  make(map[int][]int),
 		onCluster: make([][]int, d/m),
 	}, nil
+}
+
+// grow extends the replica table to cover id.
+func (v *VDRStore) grow(id int) {
+	if id >= len(v.replicas) {
+		next := make([][]int, id+1)
+		copy(next, v.replicas)
+		v.replicas = next
+	}
+}
+
+// replicasOf returns the (possibly nil) replica list of id without
+// growing the table.
+func (v *VDRStore) replicasOf(id int) []int {
+	if id < 0 || id >= len(v.replicas) {
+		return nil
+	}
+	return v.replicas[id]
 }
 
 // Clusters returns R, the number of clusters.
@@ -54,49 +77,56 @@ func (v *VDRStore) ClusterDisks(c int) []int {
 }
 
 // Replicas returns the clusters holding copies of object id, in
-// placement order.  The caller must not mutate the result.
-func (v *VDRStore) Replicas(id int) []int { return v.replicas[id] }
+// ascending cluster order.  The caller must not mutate the result.
+func (v *VDRStore) Replicas(id int) []int { return v.replicasOf(id) }
 
 // Resident reports whether at least one replica of id exists.
-func (v *VDRStore) Resident(id int) bool { return len(v.replicas[id]) > 0 }
+func (v *VDRStore) Resident(id int) bool { return len(v.replicasOf(id)) > 0 }
 
 // ResidentIDs returns the ids of all resident objects in ascending
 // order.
 func (v *VDRStore) ResidentIDs() []int {
-	ids := make([]int, 0, len(v.replicas))
+	ids := make([]int, 0, v.unique)
 	for id, r := range v.replicas {
 		if len(r) > 0 {
 			ids = append(ids, id)
 		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 
 // UniqueResident returns the number of distinct resident objects —
 // the quantity the paper contrasts with striping: replication reduces
 // it.
-func (v *VDRStore) UniqueResident() int {
-	n := 0
-	for _, r := range v.replicas {
-		if len(r) > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (v *VDRStore) UniqueResident() int { return v.unique }
 
 // ClusterFree returns the free cylinders per member disk of cluster c.
 func (v *VDRStore) ClusterFree(c int) int { return v.capacity - v.used[c] }
 
 // HasReplicaOn reports whether cluster c holds a replica of id.
 func (v *VDRStore) HasReplicaOn(id, c int) bool {
-	for _, rc := range v.replicas[id] {
-		if rc == c {
-			return true
-		}
+	rs := v.replicasOf(id)
+	i := sort.SearchInts(rs, c)
+	return i < len(rs) && rs[i] == c
+}
+
+// insertSorted inserts x into the ascending slice s, keeping order.
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeSorted removes x from the ascending slice s, keeping order.
+// It reports whether x was present.
+func removeSorted(s []int, x int) ([]int, bool) {
+	i := sort.SearchInts(s, x)
+	if i >= len(s) || s[i] != x {
+		return s, false
 	}
-	return false
+	return append(s[:i], s[i+1:]...), true
 }
 
 // PlaceReplica stores a replica of object id (n subobjects) on
@@ -116,39 +146,36 @@ func (v *VDRStore) PlaceReplica(id, c, n int) error {
 			c, v.ClusterFree(c), id, n)
 	}
 	v.used[c] += n
-	v.replicas[id] = append(v.replicas[id], c)
-	v.onCluster[c] = append(v.onCluster[c], id)
+	v.grow(id)
+	if len(v.replicas[id]) == 0 {
+		v.unique++
+	}
+	v.replicas[id] = insertSorted(v.replicas[id], c)
+	v.onCluster[c] = insertSorted(v.onCluster[c], id)
 	return nil
 }
 
 // ObjectsOn returns the ids of objects with a replica on cluster c,
-// in placement order.  The caller must not mutate the result.
+// in ascending id order.  The caller must not mutate the result.
 func (v *VDRStore) ObjectsOn(c int) []int { return v.onCluster[c] }
 
 // EvictReplica removes the replica of id on cluster c, freeing n
 // cylinders per member disk.
 func (v *VDRStore) EvictReplica(id, c, n int) error {
-	rs := v.replicas[id]
-	for i, rc := range rs {
-		if rc == c {
-			v.replicas[id] = append(rs[:i], rs[i+1:]...)
-			if len(v.replicas[id]) == 0 {
-				delete(v.replicas, id)
-			}
-			v.used[c] -= n
-			if v.used[c] < 0 {
-				return fmt.Errorf("core: cluster %d usage went negative", c)
-			}
-			for j, oid := range v.onCluster[c] {
-				if oid == id {
-					v.onCluster[c] = append(v.onCluster[c][:j], v.onCluster[c][j+1:]...)
-					break
-				}
-			}
-			return nil
-		}
+	rs, found := removeSorted(v.replicasOf(id), c)
+	if !found {
+		return fmt.Errorf("core: object %d has no replica on cluster %d", id, c)
 	}
-	return fmt.Errorf("core: object %d has no replica on cluster %d", id, c)
+	v.replicas[id] = rs
+	if len(rs) == 0 {
+		v.unique--
+	}
+	v.used[c] -= n
+	if v.used[c] < 0 {
+		return fmt.Errorf("core: cluster %d usage went negative", c)
+	}
+	v.onCluster[c], _ = removeSorted(v.onCluster[c], id)
+	return nil
 }
 
 // FindFreeCluster returns a cluster with at least n free cylinders per

@@ -63,47 +63,106 @@ type Point struct {
 // Improvement returns the Table 4 quantity for this point.
 func (p Point) Improvement() float64 { return metrics.Improvement(p.Striped, p.VDR) }
 
-// Figure8 runs one graph of Figure 8: simple striping vs virtual data
-// replication across the station sweep for one access distribution.
-// Runs execute in parallel; results are deterministic per seed.
-func Figure8(scale Scale, mean float64, stations []int, seed uint64) ([]Point, error) {
+// job is one engine run of one sweep point: the unit of work the
+// pool schedules.  Splitting the two techniques of a point into
+// separate jobs halves the critical path of a sweep — the striped and
+// VDR runs of the same station count no longer serialize.
+type job struct {
+	mean    float64
+	idx     int // index into the stations slice
+	striped bool
+}
+
+// runSweep executes every (mean, station, engine) combination on a
+// worker pool sized to GOMAXPROCS and assembles the per-mean point
+// slices.  Each job writes its own field of its own point, so workers
+// never contend and the result is independent of scheduling order:
+// the output is deterministic per seed regardless of parallelism.
+func runSweep(scale Scale, means []float64, stations []int, seed uint64) (map[float64][]Point, error) {
 	if len(stations) == 0 {
 		stations = workload.PaperStations
 	}
-	points := make([]Point, len(stations))
-	errs := make([]error, len(stations))
-
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, st := range stations {
-		wg.Add(1)
-		go func(i, st int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := BaseConfig(scale, st, mean, seed)
-			se, err := sched.NewStriped(cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rs := se.Run()
-			ve, err := sched.NewVDR(cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rv := ve.Run()
-			points[i] = Point{Stations: st, Striped: rs, VDR: rv}
-		}(i, st)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	byMean := make(map[float64][]Point, len(means))
+	jobs := make(chan job, 2*len(means)*len(stations))
+	for _, mean := range means {
+		pts := make([]Point, len(stations))
+		for i, st := range stations {
+			pts[i].Stations = st
+		}
+		byMean[mean] = pts
+		for i := range stations {
+			jobs <- job{mean: mean, idx: i, striped: true}
+			jobs <- job{mean: mean, idx: i, striped: false}
 		}
 	}
-	return points, nil
+	close(jobs)
+
+	workers := runtime.GOMAXPROCS(0)
+	if n := cap(jobs); workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := &byMean[j.mean][j.idx]
+				cfg := BaseConfig(scale, p.Stations, j.mean, seed)
+				var (
+					run sched.Result
+					err error
+				)
+				if j.striped {
+					var e *sched.Striped
+					if e, err = sched.NewStriped(cfg); err == nil {
+						run = e.Run()
+					}
+				} else {
+					var e *sched.VDR
+					if e, err = sched.NewVDR(cfg); err == nil {
+						run = e.Run()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				// Striped and VDR of the same point are distinct
+				// fields, so the two writes never overlap.
+				if j.striped {
+					p.Striped = run
+				} else {
+					p.VDR = run
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return byMean, nil
+}
+
+// Figure8 runs one graph of Figure 8: simple striping vs virtual data
+// replication across the station sweep for one access distribution.
+// Engine runs execute in parallel on a GOMAXPROCS-sized pool; results
+// are deterministic per seed.
+func Figure8(scale Scale, mean float64, stations []int, seed uint64) ([]Point, error) {
+	byMean, err := runSweep(scale, []float64{mean}, stations, seed)
+	if err != nil {
+		return nil, err
+	}
+	return byMean[mean], nil
 }
 
 // Figure8Render formats one graph as text: throughput in displays per
@@ -146,15 +205,9 @@ func Table4(byMean map[float64][]Point) *metrics.Table {
 
 // RunAll runs the three distributions of Figure 8 and returns the
 // per-mean points (the input to both the figure renderings and
-// Table 4).
+// Table 4).  All three sweeps share one worker pool, so the runs of
+// different distributions interleave instead of executing graph by
+// graph.
 func RunAll(scale Scale, stations []int, seed uint64) (map[float64][]Point, error) {
-	out := make(map[float64][]Point, len(workload.PaperMeans))
-	for _, mean := range workload.PaperMeans {
-		pts, err := Figure8(scale, mean, stations, seed)
-		if err != nil {
-			return nil, err
-		}
-		out[mean] = pts
-	}
-	return out, nil
+	return runSweep(scale, workload.PaperMeans, stations, seed)
 }

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -64,6 +66,29 @@ func TestFigure8Deterministic(t *testing.T) {
 	}
 	if a[0].Striped.Displays != b[0].Striped.Displays || a[0].VDR.Displays != b[0].VDR.Displays {
 		t.Fatal("figure 8 runs not reproducible")
+	}
+}
+
+// TestRunAllParallelismInvariant pins the worker pool's determinism
+// contract: the sweep's results must not depend on how many workers
+// execute it.  A serial run (GOMAXPROCS=1) and a parallel run must be
+// deeply equal, every field of every point.
+func TestRunAllParallelismInvariant(t *testing.T) {
+	stations := []int{1, 8}
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := RunAll(Quick, stations, 9)
+	runtime.GOMAXPROCS(4)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		t.Fatal(err)
+	}
+	parallel, perr := RunAll(Quick, stations, 9)
+	runtime.GOMAXPROCS(prev)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("sweep depends on worker count:\n  serial:   %+v\n  parallel: %+v", serial, parallel)
 	}
 }
 

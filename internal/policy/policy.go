@@ -18,21 +18,40 @@ import (
 
 // LFU tracks object access frequencies and selects replacement
 // victims.  The paper: "it implements a replacement policy that
-// removes the least frequently accessed object" (§4.1).
+// removes the least frequently accessed object" (§4.1).  Object ids
+// are small non-negative integers, so the table is a dense slice:
+// Touch and Count are array indexing on the engines' hot paths.
 type LFU struct {
-	counts map[int]int64
+	counts []int64
 }
 
 // NewLFU returns an empty frequency table.
 func NewLFU() *LFU {
-	return &LFU{counts: make(map[int]int64)}
+	return &LFU{}
+}
+
+// grow extends the table to cover id.
+func (l *LFU) grow(id int) {
+	if id >= len(l.counts) {
+		next := make([]int64, id+1)
+		copy(next, l.counts)
+		l.counts = next
+	}
 }
 
 // Touch records one access to object id.
-func (l *LFU) Touch(id int) { l.counts[id]++ }
+func (l *LFU) Touch(id int) {
+	l.grow(id)
+	l.counts[id]++
+}
 
 // Count returns the accesses recorded for id.
-func (l *LFU) Count(id int) int64 { return l.counts[id] }
+func (l *LFU) Count(id int) int64 {
+	if id < 0 || id >= len(l.counts) {
+		return 0
+	}
+	return l.counts[id]
+}
 
 // Victim returns the candidate with the lowest access count; ok is
 // false when candidates is empty.  Ties break toward the LARGEST id:
@@ -42,7 +61,7 @@ func (l *LFU) Count(id int) int64 { return l.counts[id] }
 func (l *LFU) Victim(candidates []int) (victim int, ok bool) {
 	best, bestCount := -1, int64(math.MaxInt64)
 	for _, id := range candidates {
-		c := l.counts[id]
+		c := l.Count(id)
 		if c < bestCount || (c == bestCount && id > best) {
 			best, bestCount = id, c
 		}
@@ -52,7 +71,7 @@ func (l *LFU) Victim(candidates []int) (victim int, ok bool) {
 
 // Colder reports whether a is strictly less frequently accessed than
 // b.
-func (l *LFU) Colder(a, b int) bool { return l.counts[a] < l.counts[b] }
+func (l *LFU) Colder(a, b int) bool { return l.Count(a) < l.Count(b) }
 
 // Replication is the demand-proportional replication rule for the VDR
 // baseline.  An object's target replica count follows its long-run

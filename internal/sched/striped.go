@@ -34,6 +34,7 @@ type display struct {
 	first   int // disk of the object's fragment (0,0)
 	tau0    int // admission interval
 	tmax    int
+	done    bool // delivery completed
 	streams []stream
 }
 
@@ -41,12 +42,26 @@ type display struct {
 // delivered.
 func (d *display) deliveryEnd(n int) int { return d.tau0 + d.tmax + n - 1 }
 
+// streamRef addresses one stream of a display inside an event bucket.
+type streamRef struct {
+	d *display
+	i int
+}
+
 // Striped simulates a staggered-striped disk farm (simple striping is
 // the special case K = M).  Occupancy is tracked in virtual-disk
 // space: physical disk f at interval t corresponds to virtual disk
 // (f − K·t) mod D, and a display's streams own fixed virtual disks
 // for the duration of their reads, so bookkeeping is O(1) per stream
 // per transition rather than per interval.
+//
+// All per-interval work is event-driven: stream releases and display
+// completions live in interval-keyed buckets (like wakeups), the
+// farm-busy integral is maintained incrementally at every
+// acquire/release site, and only displays that still have a stream to
+// coalesce are visited by Algorithm 2.  An interval in which nothing
+// happens costs O(1), independent of D, the number of active
+// displays, and the queue length.
 type Striped struct {
 	cfg    Config
 	layout core.Layout
@@ -58,16 +73,38 @@ type Striped struct {
 	think  []*rng.Stream // per-station think-time streams
 
 	vbusy []int // virtual disk -> owner display id, matOwner, or freeSlot
+	busy  int   // count of non-free virtual disks, maintained incrementally
 
-	displays []*display
 	nextID   int
-	byObject map[int]int // object -> active display count
+	byObject []int // object -> active display count
 
 	queue   []request
-	pinned  map[int]int   // object -> queued request count
+	pinned  []int         // object -> queued request count
 	wakeups map[int][]int // interval -> stations whose think time ends
 
-	ready map[int]bool // object resident and fully materialized
+	ready []bool // object resident and fully materialized
+
+	// Event rings: what fires at a given interval, indexed by
+	// interval mod the ring length.  Every event is scheduled at most
+	// horizon-1 intervals ahead (one display length plus the maximum
+	// startup delay), so slots never collide; slice backings are
+	// reused after each firing.  Entries may be stale (a coalescing
+	// move reschedules a release); consumers re-validate against the
+	// display's current state.
+	horizon     int
+	releases    [][]streamRef // stream releases due, by interval mod horizon
+	completions [][]*display  // delivery ends, by interval mod horizon
+	coalescing  []*display    // displays with a stream still to coalesce
+	pool        []*display    // recycled contiguous displays
+
+	// Reusable scratch buffers (hot path, zero steady-state allocs).
+	queueScratch []request
+	vidScratch   []int
+	tsScratch    []int
+	zeroTs       []int
+	freeScratch  []int
+	candScratch  []int
+	reissueBuf   []int
 
 	// Tertiary state.
 	matObject    int // object being staged, -1 when idle
@@ -110,20 +147,40 @@ func NewStriped(cfg Config) (*Striped, error) {
 	if err != nil {
 		return nil, err
 	}
+	maxDegree := cfg.M
+	for id := 0; id < cfg.Objects; id++ {
+		if m := cfg.Degree(id); m > maxDegree {
+			maxDegree = m
+		}
+	}
+	// Every release and completion is scheduled at most one display
+	// length plus the maximum startup delay ahead, so a ring of that
+	// horizon never sees two intervals share a slot.
+	maxStartup := cfg.MaxStartup
+	if maxStartup == 0 {
+		maxStartup = 2 * maxDegree
+	}
+	horizon := cfg.Subobjects + maxStartup + 2
 	e := &Striped{
-		cfg:       cfg,
-		layout:    layout,
-		store:     st,
-		lfu:       policy.NewLFU(),
-		tman:      tertiary.NewManager(),
-		gen:       gen,
-		stn:       workload.NewStations(gen),
-		vbusy:     make([]int, cfg.D),
-		byObject:  make(map[int]int),
-		pinned:    make(map[int]int),
-		wakeups:   make(map[int][]int),
-		ready:     make(map[int]bool),
-		matObject: -1,
+		cfg:         cfg,
+		layout:      layout,
+		store:       st,
+		lfu:         policy.NewLFU(),
+		tman:        tertiary.NewManager(),
+		gen:         gen,
+		stn:         workload.NewStations(gen),
+		vbusy:       make([]int, cfg.D),
+		byObject:    make([]int, cfg.Objects),
+		pinned:      make([]int, cfg.Objects),
+		wakeups:     make(map[int][]int),
+		ready:       make([]bool, cfg.Objects),
+		horizon:     horizon,
+		releases:    make([][]streamRef, horizon),
+		completions: make([][]*display, horizon),
+		vidScratch:  make([]int, maxDegree),
+		tsScratch:   make([]int, maxDegree),
+		zeroTs:      make([]int, maxDegree),
+		matObject:   -1,
 	}
 	if cfg.ThinkMeanSeconds > 0 {
 		src := rng.NewSource(cfg.Seed)
@@ -159,6 +216,20 @@ func (e *Striped) vdiskOf(f int) int {
 	return vdisk.VirtualAt(f, e.now, e.cfg.K, e.cfg.D)
 }
 
+// setVBusy transfers ownership of virtual disk v and maintains the
+// farm-busy counter — the incremental replacement for the per-interval
+// O(D) occupancy scan.
+func (e *Striped) setVBusy(v, owner int) {
+	if (e.vbusy[v] == freeSlot) != (owner == freeSlot) {
+		if owner == freeSlot {
+			e.busy--
+		} else {
+			e.busy++
+		}
+	}
+	e.vbusy[v] = owner
+}
+
 // enqueue issues a new reference for station s.
 func (e *Striped) enqueue(s int) {
 	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
@@ -183,50 +254,63 @@ func (e *Striped) step() {
 	if e.cfg.Coalescing {
 		e.coalesce()
 	}
-	busy := 0
-	for _, o := range e.vbusy {
-		if o != freeSlot {
-			busy++
-		}
-	}
-	e.busyArea += float64(busy)
+	e.busyArea += float64(e.busy)
 	e.now++
 }
 
-// finishDisplays releases stream disks whose reads have ended and
-// completes displays whose delivery has ended; completed stations
-// immediately reissue (zero think time).
+// finishDisplays releases stream disks whose reads end this interval
+// and completes displays whose delivery has ended; completed stations
+// immediately reissue (zero think time).  Both are bucket lookups:
+// only the streams and displays that actually fire now are touched.
 func (e *Striped) finishDisplays() {
 	n := e.cfg.Subobjects
-	kept := e.displays[:0]
-	var reissue []int
-	for _, d := range e.displays {
-		for i := range d.streams {
-			s := &d.streams[i]
-			if s.vdisk >= 0 && e.now == d.tau0+s.t+n {
-				if e.vbusy[s.vdisk] != d.id {
-					e.hiccups++
-				}
-				e.vbusy[s.vdisk] = freeSlot
-				s.vdisk = -1 // released
+	slot := e.now % e.horizon
+	if refs := e.releases[slot]; len(refs) > 0 {
+		e.releases[slot] = refs[:0]
+		// Coalescing reschedules releases out of admission order;
+		// restore (display, stream) order so hiccup accounting matches
+		// a full in-order scan.  Insertion sort: buckets are tiny and
+		// already sorted unless a coalescing fired.
+		for a := 1; a < len(refs); a++ {
+			for b := a; b > 0 && (refs[b].d.id < refs[b-1].d.id ||
+				(refs[b].d.id == refs[b-1].d.id && refs[b].i < refs[b-1].i)); b-- {
+				refs[b], refs[b-1] = refs[b-1], refs[b]
 			}
 		}
-		if e.now == d.deliveryEnd(n)+1 {
+		for _, ref := range refs {
+			d := ref.d
+			s := &d.streams[ref.i]
+			if s.vdisk < 0 || e.now != d.tau0+s.t+n {
+				continue // stale: already released or rescheduled
+			}
+			if e.vbusy[s.vdisk] != d.id {
+				e.hiccups++
+			}
+			e.setVBusy(s.vdisk, freeSlot)
+			s.vdisk = -1 // released
+		}
+	}
+	if ds := e.completions[slot]; len(ds) > 0 {
+		e.completions[slot] = ds[:0]
+		reissue := e.reissueBuf[:0]
+		for _, d := range ds {
+			d.done = true
 			e.completed++
 			e.emit(EvComplete, d.object, d.station, "")
 			e.byObject[d.object]--
-			if e.byObject[d.object] == 0 {
-				delete(e.byObject, d.object)
-			}
 			e.stn.Complete(d.station)
 			reissue = append(reissue, d.station)
-			continue
+			// Contiguous displays are unreachable once completed (all
+			// release refs fired earlier this interval or before, and
+			// they never join the coalescing list) — recycle them.
+			if d.tmax == 0 {
+				e.pool = append(e.pool, d)
+			}
 		}
-		kept = append(kept, d)
-	}
-	e.displays = kept
-	for _, s := range reissue {
-		e.reissue(s)
+		for _, s := range reissue {
+			e.reissue(s)
+		}
+		e.reissueBuf = reissue[:0]
 	}
 }
 
@@ -278,7 +362,7 @@ func (e *Striped) stepTertiary() {
 	if w > e.cfg.Degree(obj) {
 		w = e.cfg.Degree(obj)
 	}
-	vids := make([]int, w)
+	vids := e.vidScratch[:w]
 	for j := 0; j < w; j++ {
 		v := e.vdiskOf((p.First + j) % e.cfg.D)
 		if e.vbusy[v] != freeSlot {
@@ -287,12 +371,14 @@ func (e *Striped) stepTertiary() {
 		vids[j] = v
 	}
 	for _, v := range vids {
-		e.vbusy[v] = matOwner
+		e.setVBusy(v, matOwner)
 	}
-	e.matVdisks = vids
+	e.matVdisks = append(e.matVdisks[:0], vids...)
 	e.matStarted = true
 	e.matRemaining = e.cfg.MaterializeIntervalsOf(obj)
-	e.emit(EvMatStart, obj, -1, fmt.Sprintf("%d intervals", e.matRemaining+1))
+	if e.tracer != nil {
+		e.emit(EvMatStart, obj, -1, fmt.Sprintf("%d intervals", e.matRemaining+1))
+	}
 	e.tertBusy++ // the starting interval counts as busy
 	e.matRemaining--
 	if e.matRemaining == 0 {
@@ -306,9 +392,9 @@ func (e *Striped) finishMaterialization() {
 	e.emit(EvMatEnd, e.matObject, -1, "")
 	e.ready[e.matObject] = true
 	for _, v := range e.matVdisks {
-		e.vbusy[v] = freeSlot
+		e.setVBusy(v, freeSlot)
 	}
-	e.matVdisks = nil
+	e.matVdisks = e.matVdisks[:0]
 	e.matObject = -1
 	e.matStarted = false
 	if _, err := e.tman.Finish(); err != nil {
@@ -319,20 +405,33 @@ func (e *Striped) finishMaterialization() {
 
 // makeRoom evicts least-frequently-accessed evictable objects until
 // the farm has space for obj.  It reports whether enough space exists.
+// The candidate set is built once per call and shrunk incrementally as
+// victims go — nothing that happens inside this loop changes any other
+// object's evictability.
 func (e *Striped) makeRoom(obj int) bool {
 	need := e.cfg.Degree(obj) * e.cfg.Subobjects
-	for e.store.FreeFragments() < need {
-		candidates := make([]int, 0, e.store.ResidentCount())
-		for _, id := range e.store.ResidentIDs() {
-			if e.evictable(id) {
-				candidates = append(candidates, id)
-			}
+	if e.store.FreeFragments() >= need {
+		return true
+	}
+	candidates := e.candScratch[:0]
+	for _, id := range e.store.ResidentIDs() {
+		if e.evictable(id) {
+			candidates = append(candidates, id)
 		}
+	}
+	defer func() { e.candScratch = candidates[:0] }()
+	for e.store.FreeFragments() < need {
 		victim, ok := e.lfu.Victim(candidates)
 		if !ok {
 			return false
 		}
-		delete(e.ready, victim)
+		for i, id := range candidates {
+			if id == victim {
+				candidates = append(candidates[:i], candidates[i+1:]...)
+				break
+			}
+		}
+		e.ready[victim] = false
 		e.emit(EvEvict, victim, -1, "")
 		if err := e.store.Evict(victim); err != nil {
 			e.hiccups++
@@ -357,9 +456,13 @@ const fragmentedAttemptsPerInterval = 8
 // whose disks are free, per §3.1's use of idle time intervals for new
 // requests.  Non-resident objects are routed to the tertiary manager.
 // With FCFSStrict the scan stops at the first request that cannot
-// start (head-of-line blocking).
+// start (head-of-line blocking).  A request whose object needs more
+// disks than the whole farm has free is skipped without probing.
 func (e *Striped) admit() {
-	kept := make([]request, 0, len(e.queue))
+	if len(e.queue) == 0 {
+		return
+	}
+	kept := e.queueScratch[:0]
 	fragBudget := fragmentedAttemptsPerInterval
 	for qi, r := range e.queue {
 		if !e.ready[r.object] {
@@ -373,7 +476,7 @@ func (e *Striped) admit() {
 		}
 		p, ok := e.store.Placement(r.object)
 		if !ok { // evicted between materialization and admission
-			delete(e.ready, r.object)
+			e.ready[r.object] = false
 			e.tman.Request(r.object)
 			kept = append(kept, r)
 			if e.cfg.FCFSStrict {
@@ -382,11 +485,8 @@ func (e *Striped) admit() {
 			}
 			continue
 		}
-		if e.tryAdmit(r, p, &fragBudget) {
+		if e.cfg.D-e.busy >= e.cfg.Degree(r.object) && e.tryAdmit(r, p, &fragBudget) {
 			e.pinned[r.object]--
-			if e.pinned[r.object] == 0 {
-				delete(e.pinned, r.object)
-			}
 			continue
 		}
 		kept = append(kept, r)
@@ -395,6 +495,7 @@ func (e *Striped) admit() {
 			break
 		}
 	}
+	e.queueScratch = e.queue[:0]
 	e.queue = kept
 }
 
@@ -404,7 +505,7 @@ func (e *Striped) admit() {
 func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 	m := e.cfg.Degree(r.object)
 	// Contiguous: the M disks of subobject 0 must be free right now.
-	vids := make([]int, m)
+	vids := e.vidScratch[:m]
 	okContig := true
 	for j := 0; j < m; j++ {
 		v := e.vdiskOf((p.First + j) % e.cfg.D)
@@ -415,7 +516,7 @@ func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 		vids[j] = v
 	}
 	if okContig {
-		e.start(r, p, vids, make([]int, m), 0)
+		e.start(r, p, vids, e.zeroTs[:m], 0)
 		return true
 	}
 	if !e.cfg.Fragmented || *fragBudget <= 0 {
@@ -423,12 +524,13 @@ func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 	}
 	*fragBudget--
 	// Time-fragmented admission over all currently free disks.
-	free := make([]int, 0, 64)
+	free := e.freeScratch[:0]
 	for v, o := range e.vbusy {
 		if o == freeSlot {
 			free = append(free, vdisk.Physical(v, e.now, e.cfg.K, e.cfg.D))
 		}
 	}
+	e.freeScratch = free[:0]
 	a, ok := vdisk.ChooseVirtualDisks(e.cfg.D, e.cfg.K, p.First, m, free)
 	if !ok {
 		return false
@@ -445,8 +547,8 @@ func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 	if a.Tmax > maxStartup {
 		return false
 	}
-	gvids := make([]int, m)
-	ts := make([]int, m)
+	gvids := e.vidScratch[:m]
+	ts := e.tsScratch[:m]
 	for i, z := range a.Z {
 		gvids[i] = e.vdiskOf(z)
 		ts[i] = a.T[i]
@@ -455,40 +557,71 @@ func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 	return true
 }
 
-// start activates a display on the given virtual disks.
+// start activates a display on the given virtual disks and schedules
+// its future events: one release per stream and one completion.
 func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
-	d := &display{
+	n := e.cfg.Subobjects
+	var d *display
+	if k := len(e.pool); k > 0 {
+		d = e.pool[k-1]
+		e.pool = e.pool[:k-1]
+	} else {
+		d = new(display)
+	}
+	streams := d.streams
+	if cap(streams) < len(vids) {
+		streams = make([]stream, len(vids))
+	} else {
+		streams = streams[:len(vids)]
+	}
+	*d = display{
 		id:      e.nextID,
 		station: r.station,
 		object:  r.object,
 		first:   p.First,
 		tau0:    e.now,
 		tmax:    tmax,
-		streams: make([]stream, len(vids)),
+		streams: streams,
 	}
 	e.nextID++
 	for i := range vids {
 		if e.vbusy[vids[i]] != freeSlot {
 			e.hiccups++
 		}
-		e.vbusy[vids[i]] = d.id
+		e.setVBusy(vids[i], d.id)
 		d.streams[i] = stream{vdisk: vids[i], t: ts[i]}
+		slot := (d.tau0 + ts[i] + n) % e.horizon
+		e.releases[slot] = append(e.releases[slot], streamRef{d: d, i: i})
 	}
-	e.displays = append(e.displays, d)
+	slot := (d.deliveryEnd(n) + 1) % e.horizon
+	e.completions[slot] = append(e.completions[slot], d)
+	if tmax > 0 {
+		e.coalescing = append(e.coalescing, d)
+	}
 	e.byObject[r.object]++
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
-	e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
+	if e.tracer != nil {
+		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
+	}
 }
 
 // coalesce applies Algorithm 2: any stream buffering ahead of the
 // display (T_i < Tmax) moves to the ideal virtual disk — the one a
 // contiguous admission at τ0+Tmax would have used — as soon as it is
-// free.
+// free.  Only displays that still have such a stream are visited; the
+// list drops a display once every stream has moved, released, or can
+// never move (its ideal disk is the one it already holds).
 func (e *Striped) coalesce() {
-	for _, d := range e.displays {
-		if d.tmax == 0 {
+	if len(e.coalescing) == 0 {
+		return
+	}
+	n := e.cfg.Subobjects
+	kept := e.coalescing[:0]
+	for _, d := range e.coalescing {
+		if d.done {
 			continue
 		}
+		pending := false
 		for i := range d.streams {
 			s := &d.streams[i]
 			if s.vdisk < 0 || s.t == d.tmax {
@@ -497,17 +630,29 @@ func (e *Striped) coalesce() {
 			// The virtual disk a contiguous admission at τ0+Tmax
 			// would have used for fragment i.
 			ideal := vdisk.VirtualAt((d.first+i)%e.cfg.D, d.tau0+d.tmax, e.cfg.K, e.cfg.D)
-			if ideal == s.vdisk || e.vbusy[ideal] != freeSlot {
+			if ideal == s.vdisk {
+				continue // already on it; will release on its own clock
+			}
+			if e.vbusy[ideal] != freeSlot {
+				pending = true
 				continue
 			}
-			e.vbusy[s.vdisk] = freeSlot
-			e.vbusy[ideal] = d.id
+			e.setVBusy(s.vdisk, freeSlot)
+			e.setVBusy(ideal, d.id)
 			s.vdisk = ideal
 			s.t = d.tmax
+			slot := (d.tau0 + d.tmax + n) % e.horizon
+			e.releases[slot] = append(e.releases[slot], streamRef{d: d, i: i})
 			e.coalescings++
-			e.emit(EvCoalesce, d.object, d.station, fmt.Sprintf("fragment %d", i))
+			if e.tracer != nil {
+				e.emit(EvCoalesce, d.object, d.station, fmt.Sprintf("fragment %d", i))
+			}
+		}
+		if pending {
+			kept = append(kept, d)
 		}
 	}
+	e.coalescing = kept
 }
 
 // Run executes warm-up and measurement and returns the statistics.

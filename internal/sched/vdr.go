@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/mmsim/staggered/internal/core"
@@ -27,6 +28,11 @@ const (
 // single cluster, dynamic replication of hot objects (the MRT
 // substitute of package policy), and LFU replacement at cluster
 // granularity.  A cluster serves one display at a time.
+//
+// Per-interval work is event-driven: job completions live in
+// interval-keyed buckets, the busy-cluster count and per-object
+// copies-in-flight are maintained incrementally, so an interval costs
+// O(events that fire), not O(clusters + queue).
 type VDR struct {
 	cfg   Config
 	store *core.VDRStore
@@ -43,8 +49,18 @@ type VDR struct {
 	jobObject []int // object the cluster is working on
 	station   []int // station of a display job
 
+	busyClusters int           // clusters with a non-idle job
+	endings      map[int][]int // interval -> clusters whose job ends
+	copyTargets  []int         // object -> in-flight disk-to-disk copies
+	totalCopies  int           // total in-flight disk-to-disk copies
+
+	objScratch   []int // eviction-plan candidate scratch
+	dropScratch  []int // eviction-plan drop scratch
+	dropBest     []int // best drop set found by victimCluster
+	reissueBuf   []int // stations to reissue after completions
+
 	queue     []request
-	waiters   map[int]int   // object -> queued request count (also pins)
+	waiters   []int         // object -> queued request count (also pins)
 	totalRefs int64         // references issued, for popularity shares
 	wakeups   map[int][]int // interval -> stations whose think time ends
 
@@ -52,7 +68,7 @@ type VDR struct {
 	// misses (real users waiting for a cold object) always reach the
 	// tertiary device first.
 	replQueue  []int
-	replQueued map[int]bool
+	replQueued []bool
 
 	// Tertiary state.
 	matObject   int
@@ -97,18 +113,20 @@ func NewVDR(cfg Config) (*VDR, error) {
 		return nil, err
 	}
 	e := &VDR{
-		cfg:        cfg,
-		store:      store,
-		lfu:        policy.NewLFU(),
-		repl:       repl,
-		tman:       tertiary.NewManager(),
-		gen:        gen,
-		stn:        workload.NewStations(gen),
-		clusters:   cfg.D / cfg.M,
-		waiters:    make(map[int]int),
-		replQueued: make(map[int]bool),
-		wakeups:    make(map[int][]int),
-		matObject:  -1,
+		cfg:         cfg,
+		store:       store,
+		lfu:         policy.NewLFU(),
+		repl:        repl,
+		tman:        tertiary.NewManager(),
+		gen:         gen,
+		stn:         workload.NewStations(gen),
+		clusters:    cfg.D / cfg.M,
+		endings:     make(map[int][]int),
+		copyTargets: make([]int, cfg.Objects),
+		waiters:     make([]int, cfg.Objects),
+		replQueued:  make([]bool, cfg.Objects),
+		wakeups:     make(map[int][]int),
+		matObject:   -1,
 	}
 	if cfg.ThinkMeanSeconds > 0 {
 		src := rng.NewSource(cfg.Seed)
@@ -183,6 +201,32 @@ func (e *VDR) enqueue(s int) {
 	e.totalRefs++
 }
 
+// setJob starts a job on cluster c until the given interval,
+// maintaining the busy count, the copy-in-flight counters, and the
+// completion bucket.
+func (e *VDR) setJob(c int, job clusterJob, object, until int) {
+	e.job[c] = job
+	e.jobObject[c] = object
+	e.busyUntil[c] = until
+	e.busyClusters++
+	e.endings[until] = append(e.endings[until], c)
+	if job == jobCopyTarget {
+		e.copyTargets[object]++
+		e.totalCopies++
+	}
+}
+
+// clearJob returns cluster c to idle.
+func (e *VDR) clearJob(c int) {
+	if e.job[c] == jobCopyTarget {
+		e.copyTargets[e.jobObject[c]]--
+		e.totalCopies--
+	}
+	e.job[c] = jobIdle
+	e.jobObject[c] = -1
+	e.busyClusters--
+}
+
 // step advances one interval.
 func (e *VDR) step() {
 	if stations := e.wakeups[e.now]; stations != nil {
@@ -194,20 +238,22 @@ func (e *VDR) step() {
 	e.finishClusters()
 	e.stepTertiary()
 	e.admit()
-	busyDisks := 0
-	for c := 0; c < e.clusters; c++ {
-		if e.job[c] != jobIdle {
-			busyDisks += e.cfg.M
-		}
-	}
-	e.busyArea += float64(busyDisks)
+	e.busyArea += float64(e.busyClusters * e.cfg.M)
 	e.now++
 }
 
-// finishClusters completes any cluster job ending now.
+// finishClusters completes the cluster jobs ending now — a bucket
+// lookup, not a scan of all clusters.  Clusters are processed in
+// ascending index order, matching a full scan.
 func (e *VDR) finishClusters() {
-	var reissue []int
-	for c := 0; c < e.clusters; c++ {
+	ending := e.endings[e.now]
+	if len(ending) == 0 {
+		return
+	}
+	delete(e.endings, e.now)
+	sort.Ints(ending)
+	reissue := e.reissueBuf[:0]
+	for _, c := range ending {
 		if e.job[c] == jobIdle || e.now < e.busyUntil[c] {
 			continue
 		}
@@ -240,12 +286,12 @@ func (e *VDR) finishClusters() {
 			e.matObject = -1
 			e.matStarted = false
 		}
-		e.job[c] = jobIdle
-		e.jobObject[c] = -1
+		e.clearJob(c)
 	}
 	for _, s := range reissue {
 		e.reissue(s)
 	}
+	e.reissueBuf = reissue[:0]
 }
 
 // reissue starts station s's next request, after its think time when
@@ -278,7 +324,7 @@ func (e *VDR) stepTertiary() {
 		} else if len(e.replQueue) > 0 {
 			id := e.replQueue[0]
 			e.replQueue = e.replQueue[1:]
-			delete(e.replQueued, id)
+			e.replQueued[id] = false
 			e.matObject = id
 			e.matFromTman = false
 		} else {
@@ -292,20 +338,10 @@ func (e *VDR) stepTertiary() {
 	if !e.executePlan(c, drop) {
 		return
 	}
-	e.job[c] = jobMaterialize
-	e.jobObject[c] = e.matObject
-	e.busyUntil[c] = e.now + e.cfg.MaterializeIntervals()
+	e.setJob(c, jobMaterialize, e.matObject, e.now+e.cfg.MaterializeIntervals())
 	e.matStarted = true
 	e.matCluster = c
 	e.tertBusy++
-}
-
-// objectsOn returns the resident objects with a replica on cluster c,
-// sorted for determinism.
-func (e *VDR) objectsOn(c int) []int {
-	out := append([]int(nil), e.store.ObjectsOn(c)...)
-	sort.Ints(out)
-	return out
 }
 
 // replicaEvictable reports whether the replica of id on an idle
@@ -330,8 +366,9 @@ func (e *VDR) marginalValue(id int) float64 {
 // evictionPlan computes the cheapest set of replicas to drop from
 // cluster c so that `need` cylinders become free: evictable replicas
 // in increasing marginal-value order, stopping as soon as enough
-// space exists.  loss is the largest marginal value dropped.
-func (e *VDR) evictionPlan(c, need, forObject int) (drop []int, loss float64, ok bool) {
+// space exists.  loss is the largest marginal value dropped.  The
+// drop set is appended to buf (sliced to zero length first).
+func (e *VDR) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss float64, ok bool) {
 	if e.job[c] != jobIdle {
 		return nil, 0, false
 	}
@@ -342,16 +379,28 @@ func (e *VDR) evictionPlan(c, need, forObject int) (drop []int, loss float64, ok
 	if free >= need {
 		return nil, 0, true
 	}
-	objs := e.objectsOn(c)
-	sort.Slice(objs, func(i, j int) bool {
-		vi, vj := e.marginalValue(objs[i]), e.marginalValue(objs[j])
-		if vi != vj {
-			return vi < vj
-		}
+	// ObjectsOn is kept sorted by id; copy into scratch so the
+	// marginal-value sort below cannot disturb the store's index.
+	// The comparator is a strict total order (ids are unique), so any
+	// sorting algorithm yields the same permutation.
+	objs := append(e.objScratch[:0], e.store.ObjectsOn(c)...)
+	e.objScratch = objs[:0]
+	slices.SortFunc(objs, func(a, b int) int {
+		va, vb := e.marginalValue(a), e.marginalValue(b)
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
 		// Equal marginal value (typically both zero): evict the
 		// youngest id first, protecting not-yet-referenced residents.
-		return objs[i] > objs[j]
+		case a > b:
+			return -1
+		default:
+			return 1
+		}
 	})
+	drop = buf[:0]
 	for _, id := range objs {
 		if !e.replicaEvictable(id) {
 			continue
@@ -370,19 +419,29 @@ func (e *VDR) evictionPlan(c, need, forObject int) (drop []int, loss float64, ok
 
 // victimCluster picks the cheapest cluster that can hold a new
 // replica of size Subobjects, returning its eviction plan and loss.
+// The returned drop slice is valid until the next victimCluster call.
 func (e *VDR) victimCluster(forObject int) (cluster int, drop []int, loss float64, ok bool) {
 	best := -1
 	var bestDrop []int
 	bestLoss := 0.0
+	cur := e.dropScratch
+	spare := e.dropBest
 	for c := 0; c < e.clusters; c++ {
-		d, l, planOK := e.evictionPlan(c, e.cfg.Subobjects, forObject)
+		d, l, planOK := e.evictionPlan(c, e.cfg.Subobjects, forObject, cur)
 		if !planOK {
 			continue
 		}
 		if best < 0 || l < bestLoss {
-			best, bestDrop, bestLoss = c, d, l
+			best, bestLoss = c, l
+			if d != nil {
+				// Keep d's backing out of the scratch rotation until a
+				// better plan replaces it.
+				cur, spare = spare, cur
+			}
+			bestDrop = d
 		}
 	}
+	e.dropScratch, e.dropBest = cur, spare
 	if best < 0 {
 		return 0, nil, 0, false
 	}
@@ -431,11 +490,10 @@ func (e *VDR) admit() {
 	e.queue = kept
 }
 
-// idleReplica returns an idle cluster holding a replica of id.
+// idleReplica returns the lowest-indexed idle cluster holding a
+// replica of id (the store keeps replica lists sorted).
 func (e *VDR) idleReplica(id int) (int, bool) {
-	reps := append([]int(nil), e.store.Replicas(id)...)
-	sort.Ints(reps)
-	for _, c := range reps {
+	for _, c := range e.store.Replicas(id) {
 		if e.job[c] == jobIdle {
 			return c, true
 		}
@@ -445,14 +503,10 @@ func (e *VDR) idleReplica(id int) (int, bool) {
 
 // copiesInFlight returns the number of replicas of id currently being
 // created, by disk-to-disk copy or by a pending/in-flight tertiary
-// staging of an already-resident object.
+// staging of an already-resident object.  Disk-to-disk copies are
+// counted incrementally (copyTargets), not by scanning clusters.
 func (e *VDR) copiesInFlight(id int) int {
-	n := 0
-	for c := 0; c < e.clusters; c++ {
-		if e.job[c] == jobCopyTarget && e.jobObject[c] == id {
-			n++
-		}
-	}
+	n := e.copyTargets[id]
 	if e.store.Resident(id) && (e.tman.Pending(id) || e.replQueued[id] || e.matObject == id) {
 		n++
 	}
@@ -461,14 +515,9 @@ func (e *VDR) copiesInFlight(id int) int {
 
 // startDisplay occupies cluster c for one display of r.object.
 func (e *VDR) startDisplay(r request, c int) {
-	e.job[c] = jobDisplay
-	e.jobObject[c] = r.object
+	e.setJob(c, jobDisplay, r.object, e.now+e.cfg.Subobjects)
 	e.station[c] = r.station
-	e.busyUntil[c] = e.now + e.cfg.Subobjects
 	e.waiters[r.object]--
-	if e.waiters[r.object] == 0 {
-		delete(e.waiters, r.object)
-	}
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
 }
 
@@ -528,13 +577,7 @@ func (e *VDR) diskToDiskCopy(obj, replicas int) bool {
 	if maxCopies < 1 {
 		maxCopies = 1
 	}
-	copies := 0
-	for c := 0; c < e.clusters; c++ {
-		if e.job[c] == jobCopyTarget {
-			copies++
-		}
-	}
-	if copies >= maxCopies {
+	if e.totalCopies >= maxCopies {
 		return false
 	}
 	src, ok := e.idleReplica(obj)
@@ -548,12 +591,8 @@ func (e *VDR) diskToDiskCopy(obj, replicas int) bool {
 	if !e.executePlan(dst, drop) {
 		return false
 	}
-	e.job[src] = jobCopySource
-	e.jobObject[src] = obj
-	e.busyUntil[src] = e.now + e.cfg.Subobjects
-	e.job[dst] = jobCopyTarget
-	e.jobObject[dst] = obj
-	e.busyUntil[dst] = e.now + e.cfg.Subobjects
+	e.setJob(src, jobCopySource, obj, e.now+e.cfg.Subobjects)
+	e.setJob(dst, jobCopyTarget, obj, e.now+e.cfg.Subobjects)
 	return true
 }
 

@@ -126,24 +126,37 @@ func TapeOrder(m, n, w int) ([]FragRef, error) {
 // Manager is the Tertiary Manager of the simulation model (§4.1): a
 // FCFS queue of materialization requests with duplicate suppression —
 // concurrent requests for the same object join the one in flight.
+// The queued set is a dense slice indexed by object id: the
+// schedulers re-route every queued cold request each interval, so
+// Request/Pending sit on their hot paths.
 type Manager struct {
 	queue    []int
-	queued   map[int]bool
+	queued   []bool
 	inflight int // object id being materialized, or -1
 	served   int
 }
 
 // NewManager returns an idle manager.
 func NewManager() *Manager {
-	return &Manager{queued: make(map[int]bool), inflight: -1}
+	return &Manager{inflight: -1}
+}
+
+// isQueued reports whether id is in the queued set.
+func (m *Manager) isQueued(id int) bool {
+	return id >= 0 && id < len(m.queued) && m.queued[id]
 }
 
 // Request enqueues a materialization of object id.  It reports true
 // when this call added new work (the object was neither queued nor in
 // flight).
 func (m *Manager) Request(id int) bool {
-	if m.inflight == id || m.queued[id] {
+	if m.inflight == id || m.isQueued(id) {
 		return false
+	}
+	if id >= len(m.queued) {
+		next := make([]bool, id+1)
+		copy(next, m.queued)
+		m.queued = next
 	}
 	m.queued[id] = true
 	m.queue = append(m.queue, id)
@@ -168,7 +181,7 @@ func (m *Manager) StartNext() (id int, ok bool) {
 	}
 	id = m.queue[0]
 	m.queue = m.queue[1:]
-	delete(m.queued, id)
+	m.queued[id] = false
 	m.inflight = id
 	return id, true
 }
@@ -194,5 +207,5 @@ func (m *Manager) Abort() {
 
 // Pending reports whether id is queued or in flight.
 func (m *Manager) Pending(id int) bool {
-	return m.inflight == id || m.queued[id]
+	return m.inflight == id || m.isQueued(id)
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: vet, build, race-test, and short-benchmark the repo.
+# Run from anywhere; operates on the repository containing it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== short benchmarks (interval engines)"
+go test -bench 'BenchmarkFigure8a$|BenchmarkTable4$' -benchmem -benchtime 3x -run '^$' .
+
+echo "== perf-regression report"
+go run ./cmd/bench -out BENCH_1.json
+
+echo "CI OK"
