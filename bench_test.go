@@ -197,3 +197,19 @@ func BenchmarkMixedMediaAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScaleSweep runs one 10x scale point per op: 500 disks, 400
+// stations, the north-star trajectory's first decade.  Tracked in
+// BENCH_2.json next to the kernel microbenchmarks.
+func BenchmarkScaleSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := experiment.RunScalePoint(10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Displays == 0 {
+			b.Fatal("scale point completed no displays")
+		}
+	}
+}

@@ -1,15 +1,18 @@
-// Command bench is the performance-regression harness for the
-// interval engines: it runs the simulation-heavy benchmarks through
-// testing.Benchmark and writes a machine-readable report (default
-// BENCH_1.json) with ns/op, B/op, and allocs/op next to the recorded
-// pre-overhaul baseline, so a hot-path regression shows up as a
-// speedup ratio sliding toward 1.  scripts/ci.sh runs it on every
-// change.
+// Command bench is the performance-regression harness: it runs the
+// simulation-heavy engine benchmarks and the kernel calendar
+// microbenchmarks through testing.Benchmark, runs the scale-mode
+// sweep trajectory, and writes a machine-readable report (default
+// BENCH_2.json) with ns/op, B/op, and allocs/op next to the recorded
+// baselines.  With -maxregress it exits nonzero when any recorded
+// bench regresses past the threshold against its reference, so
+// scripts/ci.sh fails on hot-path regressions instead of logging
+// them.
 //
 // Usage:
 //
-//	bench                 # write BENCH_1.json in the current directory
+//	bench                     # write BENCH_2.json in the current directory
 //	bench -out report.json
+//	bench -maxregress 0.20    # fail on >20% ns/op regression vs reference
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"testing"
 
 	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/sim"
 )
 
 // baseline records the pre-overhaul numbers of the engines'
@@ -31,6 +35,21 @@ var baseline = map[string]Measurement{
 	"BenchmarkFigure8b": {NsPerOp: 29827336, BytesPerOp: 13335126, AllocsPerOp: 125745},
 	"BenchmarkFigure8c": {NsPerOp: 25207092, BytesPerOp: 12471476, AllocsPerOp: 89857},
 	"BenchmarkTable4":   {NsPerOp: 72270958, BytesPerOp: 35492416, AllocsPerOp: 411666},
+}
+
+// reference is the regression gate: the numbers recorded by the
+// previous PR's harness on the CI machine (engine benches: the PR 1
+// event-driven engines; calendar and scale benches: the first
+// timing-wheel run).  -maxregress compares current ns/op against
+// these.
+var reference = map[string]Measurement{
+	"BenchmarkFigure8a":         {NsPerOp: 7151500, BytesPerOp: 917361, AllocsPerOp: 6790},
+	"BenchmarkFigure8b":         {NsPerOp: 5480945, BytesPerOp: 904978, AllocsPerOp: 6572},
+	"BenchmarkFigure8c":         {NsPerOp: 5659410, BytesPerOp: 891935, AllocsPerOp: 6544},
+	"BenchmarkTable4":           {NsPerOp: 17939986, BytesPerOp: 1588276, AllocsPerOp: 11962},
+	"BenchmarkCalendarSchedule": {NsPerOp: 110, BytesPerOp: 0, AllocsPerOp: 0},
+	"BenchmarkCalendarCancel":   {NsPerOp: 34, BytesPerOp: 0, AllocsPerOp: 0},
+	"BenchmarkScaleSweep":       {NsPerOp: 33000000, BytesPerOp: 12000000, AllocsPerOp: 27000},
 }
 
 // Measurement is one benchmark's cost per operation.
@@ -52,10 +71,11 @@ type Entry struct {
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
-// Report is the BENCH_1.json document.
+// Report is the BENCH_2.json document.
 type Report struct {
-	Note    string  `json:"note"`
-	Results []Entry `json:"results"`
+	Note    string                  `json:"note"`
+	Results []Entry                 `json:"results"`
+	Scale   []experiment.ScalePoint `json:"scale_sweep,omitempty"`
 }
 
 func benchFigure8(mean float64) func(b *testing.B) {
@@ -78,12 +98,53 @@ func benchTable4(b *testing.B) {
 	}
 }
 
+// benchCalendarSchedule mirrors internal/sim's BenchmarkCalendarSchedule:
+// one O(1) wheel insertion per op, drain amortized over 1024 events.
+func benchCalendarSchedule(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(sim.Time(i&1023)*1e-4, fn)
+		if i&1023 == 1023 {
+			k.Run(sim.Infinity)
+		}
+	}
+	k.Run(sim.Infinity)
+}
+
+// benchCalendarCancel mirrors internal/sim's BenchmarkCalendarCancel:
+// a schedule-then-cancel cycle, both ends O(1) slab hits.
+func benchCalendarCancel(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := k.AfterTimer(sim.Time(i&255)*1e-3, fn)
+		k.Cancel(tm)
+	}
+}
+
+// benchScaleSweep runs one 10x scale point per op.
+func benchScaleSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunScalePoint(10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_1.json", "report file")
+	out := flag.String("out", "BENCH_2.json", "report file")
+	maxRegress := flag.Float64("maxregress", 0, "fail when any recorded bench's ns/op exceeds its reference by more than this fraction (0 = report only)")
+	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100", "comma-separated scale-sweep factors; empty = skip the sweep")
 	flag.Parse()
 
 	benches := []struct {
@@ -94,11 +155,15 @@ func run() int {
 		{"BenchmarkFigure8b", benchFigure8(20)},
 		{"BenchmarkFigure8c", benchFigure8(43.5)},
 		{"BenchmarkTable4", benchTable4},
+		{"BenchmarkCalendarSchedule", benchCalendarSchedule},
+		{"BenchmarkCalendarCancel", benchCalendarCancel},
+		{"BenchmarkScaleSweep", benchScaleSweep},
 	}
 
 	report := Report{
-		Note: "interval-engine regression harness; baseline = pre-overhaul scan-everything hot paths",
+		Note: "engine + kernel-calendar regression harness; baseline = pre-overhaul scan-everything hot paths, reference = previous PR's recorded numbers (regression gate)",
 	}
+	failed := false
 	for _, bm := range benches {
 		res := testing.Benchmark(bm.fn)
 		entry := Entry{
@@ -121,9 +186,33 @@ func run() int {
 			}
 		}
 		report.Results = append(report.Results, entry)
-		fmt.Printf("%-18s %d iters  %12d ns/op  %10d B/op  %8d allocs/op  %.2fx\n",
+		status := ""
+		if ref, ok := reference[bm.name]; ok && *maxRegress > 0 {
+			limit := float64(ref.NsPerOp) * (1 + *maxRegress)
+			if float64(entry.Current.NsPerOp) > limit {
+				failed = true
+				status = fmt.Sprintf("  REGRESSION (ref %d ns/op, limit %.0f)", ref.NsPerOp, limit)
+			}
+		}
+		fmt.Printf("%-26s %9d iters  %12d ns/op  %10d B/op  %8d allocs/op%s\n",
 			bm.name, res.N, entry.Current.NsPerOp, entry.Current.BytesPerOp,
-			entry.Current.AllocsPerOp, entry.Speedup)
+			entry.Current.AllocsPerOp, status)
+	}
+
+	if factors, err := parseFactors(*scaleFactors); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	} else if len(factors) > 0 {
+		points, err := experiment.ScaleSweep(factors, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		report.Scale = points
+		for _, p := range points {
+			fmt.Printf("scale %4dx  D=%-6d stations=%-6d  %8.3fs wall  %10.0f intervals/s\n",
+				p.Factor, p.D, p.Stations, p.WallSeconds, p.IntervalsSec)
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -137,5 +226,35 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if failed {
+		fmt.Fprintln(os.Stderr, "bench: ns/op regression past -maxregress threshold")
+		return 1
+	}
 	return 0
+}
+
+func parseFactors(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := s[start:i]
+			start = i + 1
+			v := 0
+			for _, c := range part {
+				if c < '0' || c > '9' {
+					return nil, fmt.Errorf("bad scale factor %q", part)
+				}
+				v = v*10 + int(c-'0')
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("bad scale factor %q", part)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
 }

@@ -8,6 +8,8 @@
 //
 //	sweep                         # full Table 3 scale, all figures + Table 4
 //	sweep -scale quick            # reduced scale (seconds instead of minutes)
+//	sweep -scale 10x              # scale-mode trajectory up to 10x quick geometry
+//	sweep -scale 100x             # scale-mode trajectory up to 100x quick geometry
 //	sweep -dist 20                # one distribution only
 //	sweep -stations 16,64,128,256 # restrict the station sweep
 //	sweep -csv                    # machine-readable output
@@ -33,7 +35,7 @@ func main() {
 // run holds the program body so deferred cleanup (the profile
 // writers) executes before the process exits.
 func run() (code int) {
-	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3) or quick")
+	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3), quick, or a scale-mode trajectory (10x, 100x)")
 	dist := flag.Float64("dist", 0, "run a single distribution mean (10, 20, or 43.5); 0 = all")
 	stationsFlag := flag.String("stations", "", "comma-separated station counts; empty = paper sweep 1..256")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -47,6 +49,8 @@ func run() (code int) {
 	case "full":
 	case "quick":
 		scale = experiment.Quick
+	case "10x", "100x":
+		return runScaleMode(*scaleFlag, *seed, *csv)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
 		return 2
@@ -101,6 +105,45 @@ func run() (code int) {
 		} else {
 			fmt.Println(tbl.String())
 		}
+	}
+	return 0
+}
+
+// runScaleMode runs the scale-mode trajectory instead of the paper
+// figures: quick-geometry configurations grown by successive factors
+// up to the requested ceiling, reporting wall-clock cost per point.
+func runScaleMode(mode string, seed uint64, csv bool) int {
+	factors := []int{1, 2, 5, 10}
+	if mode == "100x" {
+		factors = []int{1, 2, 5, 10, 20, 50, 100}
+	}
+	points, err := experiment.ScaleSweep(factors, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	if csv {
+		tbl := &metrics.Table{Header: []string{
+			"factor", "disks", "stations", "displays", "wall_seconds", "intervals_per_second",
+		}}
+		for _, p := range points {
+			tbl.AddRow(
+				fmt.Sprintf("%d", p.Factor),
+				fmt.Sprintf("%d", p.D),
+				fmt.Sprintf("%d", p.Stations),
+				fmt.Sprintf("%d", p.Displays),
+				fmt.Sprintf("%.4f", p.WallSeconds),
+				fmt.Sprintf("%.0f", p.IntervalsSec),
+			)
+		}
+		fmt.Print(tbl.CSV())
+		return 0
+	}
+	fmt.Printf("Scale-mode trajectory (%s): quick geometry grown by factor\n", mode)
+	fmt.Printf("%7s %7s %9s %9s %9s %13s\n", "factor", "disks", "stations", "displays", "wall(s)", "intervals/s")
+	for _, p := range points {
+		fmt.Printf("%7d %7d %9d %9d %9.4f %13.0f\n",
+			p.Factor, p.D, p.Stations, p.Displays, p.WallSeconds, p.IntervalsSec)
 	}
 	return 0
 }

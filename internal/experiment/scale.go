@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mmsim/staggered/internal/sched"
+	"github.com/mmsim/staggered/internal/tertiary"
+)
+
+// Scale-mode sweeps push the harness toward the ROADMAP north star —
+// configurations 10x–100x the paper's Table 3 — to measure how
+// simulation cost grows with model size now that both the engines
+// (PR 1) and the event calendar (this layer) are O(work).
+
+// ScaleConfig returns a configuration factor times the quick
+// geometry: factor×50 disks and factor×40 objects with a station
+// population of two stations per cluster, which keeps the farm near
+// saturation so the calendar carries realistic traffic.  The quick
+// base (rather than Table 3) keeps 100x runnable in CI under the race
+// detector; offline sweeps pass Table 3 sizes through ScalePoint
+// instead.
+func ScaleConfig(factor int, seed uint64) sched.Config {
+	cfg := sched.Config{
+		D:                 50 * factor,
+		K:                 5,
+		CapacityFragments: 60 * factor,
+		Objects:           40 * factor,
+		Subobjects:        30,
+		M:                 5,
+		BDisk:             20e6,
+		FragmentBytes:     1512000,
+		Tertiary:          tertiary.Table3,
+		TapeLayout:        tertiary.DiskMatched,
+		Stations:          2 * (50 * factor) / 5,
+		DistMean:          20,
+		Seed:              seed,
+		WarmupIntervals:   200,
+		MeasureIntervals:  1000,
+	}
+	return cfg
+}
+
+// ScalePoint is one scale-sweep measurement: how much wall-clock one
+// engine run costs at a given model size.
+type ScalePoint struct {
+	Factor       int     `json:"factor"`
+	D            int     `json:"disks"`
+	Stations     int     `json:"stations"`
+	Displays     int     `json:"displays"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Intervals    int     `json:"intervals"`
+	IntervalsSec float64 `json:"intervals_per_second"`
+}
+
+// RunScalePoint executes one striped run at the given factor and
+// times it.
+func RunScalePoint(factor int, seed uint64) (ScalePoint, error) {
+	cfg := ScaleConfig(factor, seed)
+	e, err := sched.NewStriped(cfg)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale %dx: %w", factor, err)
+	}
+	start := time.Now()
+	res := e.Run()
+	wall := time.Since(start).Seconds()
+	intervals := cfg.WarmupIntervals + cfg.MeasureIntervals
+	p := ScalePoint{
+		Factor:      factor,
+		D:           cfg.D,
+		Stations:    cfg.Stations,
+		Displays:    res.Displays,
+		WallSeconds: wall,
+		Intervals:   intervals,
+	}
+	if wall > 0 {
+		p.IntervalsSec = float64(intervals) / wall
+	}
+	return p, nil
+}
+
+// ScaleSweep runs the trajectory of factors in order (sequentially —
+// each point should own the machine so wall-clock numbers mean
+// something) and returns one point per factor.
+func ScaleSweep(factors []int, seed uint64) ([]ScalePoint, error) {
+	points := make([]ScalePoint, 0, len(factors))
+	for _, f := range factors {
+		p, err := RunScalePoint(f, seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/mmsim/staggered/internal/core"
 	"github.com/mmsim/staggered/internal/policy"
 	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
 	"github.com/mmsim/staggered/internal/tertiary"
 	"github.com/mmsim/staggered/internal/vdisk"
 	"github.com/mmsim/staggered/internal/workload"
@@ -78,9 +79,10 @@ type Striped struct {
 	nextID   int
 	byObject []int // object -> active display count
 
-	queue   []request
-	pinned  []int         // object -> queued request count
-	wakeups map[int][]int // interval -> stations whose think time ends
+	queue     []request
+	pinned    []int               // object -> queued request count
+	wakeups   *sim.TickWheel[int] // interval -> stations whose think time ends
+	wakeupBuf []int               // reused Due drain buffer
 
 	ready []bool // object resident and fully materialized
 
@@ -172,7 +174,7 @@ func NewStriped(cfg Config) (*Striped, error) {
 		vbusy:       make([]int, cfg.D),
 		byObject:    make([]int, cfg.Objects),
 		pinned:      make([]int, cfg.Objects),
-		wakeups:     make(map[int][]int),
+		wakeups:     sim.NewTickWheel[int](),
 		ready:       make([]bool, cfg.Objects),
 		horizon:     horizon,
 		releases:    make([][]streamRef, horizon),
@@ -242,11 +244,9 @@ func (e *Striped) enqueue(s int) {
 
 // step advances the simulation by one interval.
 func (e *Striped) step() {
-	if stations := e.wakeups[e.now]; stations != nil {
-		for _, st := range stations {
-			e.enqueue(st)
-		}
-		delete(e.wakeups, e.now)
+	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
+	for _, st := range e.wakeupBuf {
+		e.enqueue(st)
 	}
 	e.finishDisplays()
 	e.stepTertiary()
@@ -326,8 +326,7 @@ func (e *Striped) reissue(s int) {
 	if delay < 1 {
 		delay = 1
 	}
-	at := e.now + delay
-	e.wakeups[at] = append(e.wakeups[at], s)
+	e.wakeups.Add(e.now+delay, s)
 }
 
 // stepTertiary advances the materialization pipeline.

@@ -8,6 +8,7 @@ import (
 	"github.com/mmsim/staggered/internal/core"
 	"github.com/mmsim/staggered/internal/policy"
 	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
 	"github.com/mmsim/staggered/internal/tertiary"
 	"github.com/mmsim/staggered/internal/workload"
 )
@@ -49,20 +50,22 @@ type VDR struct {
 	jobObject []int // object the cluster is working on
 	station   []int // station of a display job
 
-	busyClusters int           // clusters with a non-idle job
-	endings      map[int][]int // interval -> clusters whose job ends
-	copyTargets  []int         // object -> in-flight disk-to-disk copies
-	totalCopies  int           // total in-flight disk-to-disk copies
+	busyClusters int                 // clusters with a non-idle job
+	endings      *sim.TickWheel[int] // interval -> clusters whose job ends
+	endBuf       []int               // reused Due drain buffer
+	copyTargets  []int               // object -> in-flight disk-to-disk copies
+	totalCopies  int                 // total in-flight disk-to-disk copies
 
-	objScratch   []int // eviction-plan candidate scratch
-	dropScratch  []int // eviction-plan drop scratch
-	dropBest     []int // best drop set found by victimCluster
-	reissueBuf   []int // stations to reissue after completions
+	objScratch  []int // eviction-plan candidate scratch
+	dropScratch []int // eviction-plan drop scratch
+	dropBest    []int // best drop set found by victimCluster
+	reissueBuf  []int // stations to reissue after completions
 
 	queue     []request
-	waiters   []int         // object -> queued request count (also pins)
-	totalRefs int64         // references issued, for popularity shares
-	wakeups   map[int][]int // interval -> stations whose think time ends
+	waiters   []int               // object -> queued request count (also pins)
+	totalRefs int64               // references issued, for popularity shares
+	wakeups   *sim.TickWheel[int] // interval -> stations whose think time ends
+	wakeupBuf []int               // reused Due drain buffer
 
 	// Replication stagings wait in their own low-priority queue:
 	// misses (real users waiting for a cold object) always reach the
@@ -121,11 +124,11 @@ func NewVDR(cfg Config) (*VDR, error) {
 		gen:         gen,
 		stn:         workload.NewStations(gen),
 		clusters:    cfg.D / cfg.M,
-		endings:     make(map[int][]int),
+		endings:     sim.NewTickWheel[int](),
 		copyTargets: make([]int, cfg.Objects),
 		waiters:     make([]int, cfg.Objects),
 		replQueued:  make([]bool, cfg.Objects),
-		wakeups:     make(map[int][]int),
+		wakeups:     sim.NewTickWheel[int](),
 		matObject:   -1,
 	}
 	if cfg.ThinkMeanSeconds > 0 {
@@ -209,7 +212,7 @@ func (e *VDR) setJob(c int, job clusterJob, object, until int) {
 	e.jobObject[c] = object
 	e.busyUntil[c] = until
 	e.busyClusters++
-	e.endings[until] = append(e.endings[until], c)
+	e.endings.Add(until, c)
 	if job == jobCopyTarget {
 		e.copyTargets[object]++
 		e.totalCopies++
@@ -229,11 +232,9 @@ func (e *VDR) clearJob(c int) {
 
 // step advances one interval.
 func (e *VDR) step() {
-	if stations := e.wakeups[e.now]; stations != nil {
-		for _, st := range stations {
-			e.enqueue(st)
-		}
-		delete(e.wakeups, e.now)
+	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
+	for _, st := range e.wakeupBuf {
+		e.enqueue(st)
 	}
 	e.finishClusters()
 	e.stepTertiary()
@@ -246,11 +247,11 @@ func (e *VDR) step() {
 // lookup, not a scan of all clusters.  Clusters are processed in
 // ascending index order, matching a full scan.
 func (e *VDR) finishClusters() {
-	ending := e.endings[e.now]
+	e.endBuf = e.endings.Due(e.now, e.endBuf[:0])
+	ending := e.endBuf
 	if len(ending) == 0 {
 		return
 	}
-	delete(e.endings, e.now)
 	sort.Ints(ending)
 	reissue := e.reissueBuf[:0]
 	for _, c := range ending {
@@ -306,8 +307,7 @@ func (e *VDR) reissue(s int) {
 	if delay < 1 {
 		delay = 1
 	}
-	at := e.now + delay
-	e.wakeups[at] = append(e.wakeups[at], s)
+	e.wakeups.Add(e.now+delay, s)
 }
 
 // stepTertiary stages non-resident objects through the tertiary

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// heapCalendar is the pre-wheel binary-heap event calendar, verbatim,
+// kept as the differential oracle: for any schedule the wheel must
+// drain events in exactly the order the heap drained them.
+
+type oracleEvent struct {
+	at        Time
+	seq       uint64
+	id        int
+	cancelled bool
+}
+
+type oracleHeap []*oracleEvent
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x any)   { *h = append(*h, x.(*oracleEvent)) }
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type heapCalendar struct {
+	q   oracleHeap
+	seq uint64
+}
+
+func (c *heapCalendar) schedule(at Time, id int) *oracleEvent {
+	c.seq++
+	e := &oracleEvent{at: at, seq: c.seq, id: id}
+	heap.Push(&c.q, e)
+	return e
+}
+
+// reschedule mirrors the wheel's Reschedule: the event keeps its
+// identity but takes a fresh sequence number.
+func (c *heapCalendar) reschedule(e *oracleEvent, at Time) {
+	c.seq++
+	e.at, e.seq = at, c.seq
+	heap.Init(&c.q)
+}
+
+func (c *heapCalendar) drain() []int {
+	var order []int
+	for c.q.Len() > 0 {
+		e := heap.Pop(&c.q).(*oracleEvent)
+		if !e.cancelled {
+			order = append(order, e.id)
+		}
+	}
+	return order
+}
+
+// TestWheelMatchesHeapRandom is the differential test of the
+// acceptance criteria: randomized schedules — bursty times, far
+// jumps, same-time FIFO chains, cancels, and reschedules — must drain
+// from the wheel in exactly the heap's order.
+func TestWheelMatchesHeapRandom(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := New()
+		oracle := &heapCalendar{}
+
+		var got []int
+		n := 5 + rng.Intn(120)
+		timers := make([]Timer, n)
+		events := make([]*oracleEvent, n)
+		now := Time(0)
+		for i := 0; i < n; i++ {
+			var at Time
+			switch rng.Intn(5) {
+			case 0: // same-time cluster
+				at = now
+			case 1: // sub-tick spacing (below wheel resolution)
+				at = now + Time(rng.Float64())*1e-8
+			case 2: // near future, same level-0 window
+				at = now + Time(rng.Float64())*1e-3
+			case 3: // mid future, forces level 1-3 placement
+				at = now + Time(rng.Float64())*1000
+			default: // far future, high levels / overflow behaviour
+				at = now + Time(rng.Float64())*3e6
+			}
+			id := i
+			timers[i] = k.AtTimer(at, func() { got = append(got, id) })
+			events[i] = oracle.schedule(at, id)
+		}
+		// Cancel a random subset and reschedule another, identically
+		// on both calendars.
+		for i := 0; i < n/4; i++ {
+			v := rng.Intn(n)
+			if events[v].cancelled {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				events[v].cancelled = true
+				if !k.Cancel(timers[v]) {
+					t.Fatalf("trial %d: cancel of live timer %d failed", trial, v)
+				}
+			} else {
+				at := now + Time(rng.Float64())*1e5
+				oracle.reschedule(events[v], at)
+				if !k.Reschedule(timers[v], at) {
+					t.Fatalf("trial %d: reschedule of live timer %d failed", trial, v)
+				}
+			}
+		}
+		k.Run(Infinity)
+		want := oracle.drain()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: wheel fired %d events, heap %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: drain order diverged at %d: wheel %v, heap %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWheelMatchesHeapCascadingSchedules drives both calendars with
+// events that schedule more events while running — the process-layer
+// pattern (Hold chains, After(0) wakeups) — and compares execution
+// order end to end.  As long as both calendars fire in the same
+// order, both runs draw the same random delays at the same points, so
+// any divergence is a calendar-ordering bug.
+func TestWheelMatchesHeapCascadingSchedules(t *testing.T) {
+	run := func(trial int, schedule func(at Time, fn func()), now func() Time, runAll func()) []int {
+		var got []int
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var spawn func(depth, id int) func()
+		spawn = func(depth, id int) func() {
+			return func() {
+				got = append(got, id)
+				if depth < 3 {
+					kids := rng.Intn(3)
+					for c := 0; c < kids; c++ {
+						var dt Time
+						switch rng.Intn(3) {
+						case 0:
+							dt = 0
+						case 1:
+							dt = Time(rng.Float64()) * 1e-7
+						default:
+							dt = Time(rng.Float64()) * 500
+						}
+						schedule(now()+dt, spawn(depth+1, id*10+c+1))
+					}
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			schedule(Time(rng.Float64())*100, spawn(0, i+1))
+		}
+		runAll()
+		return got
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		k := New()
+		gotWheel := run(trial,
+			func(at Time, fn func()) { k.At(at, fn) },
+			k.Now,
+			func() { k.Run(Infinity) })
+
+		// Oracle: a tiny heap-driven event loop with identical
+		// semantics.
+		h := &heapCalendar{}
+		fns := map[uint64]func(){}
+		var hNow Time
+		gotHeap := run(trial,
+			func(at Time, fn func()) { fns[h.schedule(at, 0).seq] = fn },
+			func() Time { return hNow },
+			func() {
+				for h.q.Len() > 0 {
+					e := heap.Pop(&h.q).(*oracleEvent)
+					hNow = e.at
+					fns[e.seq]()
+				}
+			})
+
+		if len(gotWheel) != len(gotHeap) {
+			t.Fatalf("trial %d: wheel ran %d events, heap %d", trial, len(gotWheel), len(gotHeap))
+		}
+		for i := range gotHeap {
+			if gotWheel[i] != gotHeap[i] {
+				t.Fatalf("trial %d: cascade order diverged at %d: wheel %v heap %v", trial, i, gotWheel[i], gotHeap[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,12 @@ type Process struct {
 	resume chan struct{} // kernel -> process: you may run
 	yield  chan struct{} // process -> kernel: I am done for now
 	done   bool
+
+	// runfn is the process's persistent wakeup closure: every Hold,
+	// Signal fire, facility handover, and queue wakeup schedules this
+	// one function, so blocking and unblocking a process allocates
+	// nothing after Spawn.
+	runfn func()
 }
 
 // Spawn creates a process named name running fn and schedules it to
@@ -26,6 +32,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Process)) *Process {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.runfn = p.run
 	k.processes++
 	go func() {
 		<-p.resume // wait for first activation
@@ -34,7 +41,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Process)) *Process {
 		k.processes--
 		p.yield <- struct{}{}
 	}()
-	k.After(0, func() { p.run() })
+	k.After(0, p.runfn)
 	return p
 }
 
@@ -70,7 +77,7 @@ func (p *Process) Hold(dt Time) {
 	if dt < 0 {
 		panic(fmt.Sprintf("sim: process %q holding negative time %v", p.name, dt))
 	}
-	p.k.After(dt, func() { p.run() })
+	p.k.After(dt, p.runfn)
 	p.pause()
 }
 
@@ -101,8 +108,7 @@ func (s *Signal) Fire() {
 	s.waiters = nil
 	s.k.blocked -= len(waiters)
 	for _, w := range waiters {
-		w := w
-		s.k.After(0, func() { w.run() })
+		s.k.After(0, w.runfn)
 	}
 }
 
@@ -115,7 +121,7 @@ func (s *Signal) FireOne() bool {
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
 	s.k.blocked--
-	s.k.After(0, func() { w.run() })
+	s.k.After(0, w.runfn)
 	return true
 }
 
@@ -164,6 +170,44 @@ func (p *Process) Request(f *Facility) {
 	// The releasing process accounted and incremented on our behalf.
 }
 
+// RequestTimeout acquires one server like Request, but gives up after
+// dt of simulated time in the queue (CSIM's timed reserve).  It
+// reports whether a server was acquired; on false the process holds
+// nothing and was removed from the queue.  The deadline is a single
+// Timer cancelled in O(1) on the normal handover path — no tombstone
+// closure outlives the call.
+func (p *Process) RequestTimeout(f *Facility, dt Time) bool {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: process %q requesting %q with negative timeout %v", p.name, f.name, dt))
+	}
+	if f.inUse < f.servers && len(f.queue) == 0 {
+		f.account()
+		f.inUse++
+		f.acquired++
+		return true
+	}
+	f.queue = append(f.queue, p)
+	p.k.blocked++
+	acquired := true
+	tm := p.k.AfterTimer(dt, func() {
+		// Release dequeues the waiter before scheduling its wakeup, so
+		// if p is no longer queued the handover already happened in
+		// this same instant and the timeout must stand down.
+		for i, q := range f.queue {
+			if q == p {
+				f.queue = append(f.queue[:i], f.queue[i+1:]...)
+				p.k.blocked--
+				acquired = false
+				p.run()
+				return
+			}
+		}
+	})
+	p.pause()
+	p.k.Cancel(tm)
+	return acquired
+}
+
 // Release returns one server to the facility, waking the head of the
 // queue if any.
 func (p *Process) Release(f *Facility) {
@@ -178,7 +222,7 @@ func (p *Process) Release(f *Facility) {
 		f.inUse++
 		f.acquired++
 		p.k.blocked--
-		p.k.After(0, func() { w.run() })
+		p.k.After(0, w.runfn)
 	}
 }
 

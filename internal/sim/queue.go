@@ -61,7 +61,7 @@ func (q *Queue) Put(v any) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		q.k.blocked--
-		q.k.After(0, func() { w.run() })
+		q.k.After(0, w.runfn)
 	}
 }
 
@@ -82,7 +82,7 @@ func (p *Process) Get(q *Queue) any {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		p.k.blocked--
-		p.k.After(0, func() { w.run() })
+		p.k.After(0, w.runfn)
 	}
 	return it.value
 }
@@ -130,7 +130,7 @@ func (p *Process) Send(m *Mailbox, v any) {
 		w := m.rcvrs[0]
 		m.rcvrs = m.rcvrs[1:]
 		p.k.blocked--
-		p.k.After(0, func() { w.run() })
+		p.k.After(0, w.runfn)
 	}
 	p.k.blocked++
 	p.pause() // resumed by the receiver
@@ -150,6 +150,6 @@ func (p *Process) Receive(m *Mailbox) any {
 	s := m.sender
 	m.sender = nil
 	p.k.blocked--
-	p.k.After(0, func() { s.run() })
+	p.k.After(0, s.runfn)
 	return v
 }

@@ -3,10 +3,14 @@
 //
 // The kernel has two layers:
 //
-//   - An event calendar (binary heap keyed on simulated time, with FIFO
-//     tie-breaking) driving arbitrary callbacks.  This is the whole
-//     kernel for event-style models such as the interval-quantized
-//     scheduler used by the throughput experiments.
+//   - An event calendar (a hierarchical timing wheel keyed on
+//     simulated time, with FIFO tie-breaking) driving arbitrary
+//     callbacks.  Scheduling and cancellation are O(1): event records
+//     are slab-allocated and recycled through a free list, and Timer
+//     handles address them directly, so schedule-heavy models pay no
+//     heap churn.  This is the whole kernel for event-style models
+//     such as the interval-quantized scheduler used by the throughput
+//     experiments.
 //
 //   - A process layer in the CSIM style: a Process is a goroutine that
 //     can Hold (advance simulated time), Wait on a Signal, or acquire a
@@ -20,7 +24,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -31,38 +34,11 @@ type Time float64
 // Infinity is a time later than any event.
 const Infinity = Time(math.MaxFloat64)
 
-type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for equal times
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulation instance.  A Kernel is not safe
 // for concurrent use; all model code runs on the kernel's schedule.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
-	seq     uint64
+	cal     timerWheel
 	stopped bool
 
 	// process layer bookkeeping
@@ -73,7 +49,9 @@ type Kernel struct {
 
 // New returns an empty kernel at time zero.
 func New() *Kernel {
-	return &Kernel{}
+	k := &Kernel{}
+	k.cal.init()
+	return k
 }
 
 // Now returns the current simulated time.
@@ -85,8 +63,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+	k.cal.schedule(t, fn)
 }
 
 // After schedules fn to run dt seconds from now.
@@ -94,28 +71,68 @@ func (k *Kernel) After(dt Time, fn func()) {
 	if dt < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", dt))
 	}
-	k.At(k.now+dt, fn)
+	k.cal.schedule(k.now+dt, fn)
+}
+
+// AtTimer schedules fn at absolute time t and returns a handle for
+// O(1) Cancel or Reschedule.
+func (k *Kernel) AtTimer(t Time, fn func()) Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	return k.cal.schedule(t, fn)
+}
+
+// AfterTimer schedules fn dt seconds from now and returns its handle.
+func (k *Kernel) AfterTimer(dt Time, fn func()) Timer {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", dt))
+	}
+	return k.cal.schedule(k.now+dt, fn)
+}
+
+// Cancel removes a scheduled event in O(1).  It reports false when
+// the event already fired, was already cancelled, or tm is the zero
+// Timer — cancelling a dead timer is not an error, so callers can
+// cancel unconditionally instead of tracking liveness themselves.
+func (k *Kernel) Cancel(tm Timer) bool { return k.cal.cancel(tm) }
+
+// Reschedule moves a live timer to absolute time t in O(1), reusing
+// its event record; the handle remains valid.  It reports false when
+// the timer already fired or was cancelled (the event is NOT
+// re-armed — use AtTimer for that).
+func (k *Kernel) Reschedule(tm Timer, t Time) bool {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, k.now))
+	}
+	return k.cal.reschedule(tm, t)
 }
 
 // Stop halts the simulation after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Run executes events until the calendar empties, Stop is called, or
-// the clock passes horizon.  It returns the final simulated time.
-// Processes still blocked on signals, facilities, or queues when the
-// calendar empties simply never resume — the simulation has quiesced,
-// which is how CSIM models also end; Quiesced reports that state.
+// the clock would pass horizon.  Events scheduled exactly at horizon
+// fire before Run returns (TestHorizonBoundary pins this); only
+// strictly later events are left for a future Run.  It returns the
+// final simulated time.  Processes still blocked on signals,
+// facilities, or queues when the calendar empties simply never resume
+// — the simulation has quiesced, which is how CSIM models also end;
+// Quiesced reports that state.
 func (k *Kernel) Run(horizon Time) Time {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		e := k.queue[0]
-		if e.at > horizon {
+	for !k.stopped {
+		idx, ok := k.cal.peek()
+		if !ok {
+			break
+		}
+		if k.cal.nodes[idx].at > horizon {
 			k.now = horizon
 			return k.now
 		}
-		heap.Pop(&k.queue)
-		k.now = e.at
-		e.fn()
+		at, fn := k.cal.take()
+		k.now = at
+		fn()
 	}
 	return k.now
 }
@@ -125,20 +142,27 @@ func (k *Kernel) Run(horizon Time) Time {
 // model with self-sustaining processes this usually indicates a bug;
 // in producer/consumer models it is the normal end state.
 func (k *Kernel) Quiesced() bool {
-	return k.processes > 0 && k.processes == k.blocked && len(k.queue) == 0
+	return k.processes > 0 && k.processes == k.blocked && k.cal.count == 0
 }
 
 // Step executes exactly one event if one exists, returning false when
-// the calendar is empty.
+// the calendar is empty.  A prior Stop() consumes the first Step —
+// it returns false once and resets the stop, matching Run's contract
+// of clearing the flag before executing anything.
 func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
+	if k.stopped {
+		k.stopped = false
 		return false
 	}
-	e := heap.Pop(&k.queue).(*event)
-	k.now = e.at
-	e.fn()
+	_, ok := k.cal.peek()
+	if !ok {
+		return false
+	}
+	at, fn := k.cal.take()
+	k.now = at
+	fn()
 	return true
 }
 
 // Pending returns the number of scheduled events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.cal.count }

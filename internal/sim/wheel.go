@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// The event calendar is a hierarchical timing wheel in the
+// Varghese–Lauck style: eight levels of 64 slots over 2^-20-second
+// ticks, so schedule and cancel are O(1) and an event cascades at
+// most eight times between being scheduled and firing.  Event records
+// live in a slab and are recycled through a free list — steady-state
+// scheduling allocates nothing — and every record is addressable by a
+// Timer handle with a generation counter, so Cancel and Reschedule
+// are O(1) slab lookups instead of tombstone closures.
+//
+// Simulated time is a float64, so a tick can hold events at distinct
+// times as well as FIFO chains at the same time.  The wheel therefore
+// drains one tick into a pending run-queue sorted by (time, sequence)
+// — exactly the order the binary-heap calendar produced, which the
+// differential tests in calendar_oracle_test.go pin over randomized
+// schedules.
+
+const (
+	levelBits  = 6
+	slotCount  = 1 << levelBits // 64
+	slotMask   = slotCount - 1
+	levelCount = 8  // 64^8 ticks of range, ~8.9 simulated years
+	tickShift  = 20 // tick = 2^-20 s ≈ 0.95 µs
+
+	// maxDelta is the span the wheel covers from an aligned clock;
+	// events farther out wait on the overflow list until the clock
+	// comes within range.
+	maxDelta = uint64(1) << (levelBits * levelCount)
+)
+
+const nilIdx = int32(-1)
+
+// Node positions: level<<8|slot for wheel residents, or a sentinel.
+const (
+	posFree     = 0xFFFF
+	posOverflow = 0xFFFE
+	posPending  = 0xFFFD
+)
+
+// timerNode is one slab-allocated event record.
+type timerNode struct {
+	at   Time
+	tick uint64
+	seq  uint64 // global FIFO tie-break; 0 when free
+	fn   func()
+	next int32 // intrusive doubly-linked bucket list / free list
+	prev int32
+	gen  uint32 // bumped on free, invalidating outstanding Timers
+	pos  uint16
+}
+
+// Timer is a cancelable handle to a scheduled event.  The zero Timer
+// is invalid; Cancel and Reschedule on it report false.
+type Timer struct {
+	ref int32 // slab index + 1, so the zero Timer matches no node
+	gen uint32
+}
+
+type timerWheel struct {
+	nodes []timerNode
+	free  int32 // free-list head
+
+	slots [levelCount][slotCount]int32
+	occ   [levelCount]uint64 // per-level slot occupancy bitmaps
+
+	overflow    int32  // events beyond maxDelta, unordered
+	overflowMin uint64 // lower bound on overflow ticks (may be stale-low)
+
+	curTick uint64
+	seq     uint64
+	count   int // live scheduled events
+
+	// pending is the drained current tick in execution order;
+	// pendIdx is the cursor of the next event to run.
+	pending []int32
+	pendIdx int
+}
+
+func (w *timerWheel) init() {
+	w.free = nilIdx
+	w.overflow = nilIdx
+	w.overflowMin = math.MaxUint64
+	for l := range w.slots {
+		for s := range w.slots[l] {
+			w.slots[l][s] = nilIdx
+		}
+	}
+}
+
+// tickOf maps a simulated time to a wheel tick, clamped to the
+// current tick (sub-resolution ordering is restored by the pending
+// sort) and saturated for far-future times such as Infinity.
+func (w *timerWheel) tickOf(t Time) uint64 {
+	f := float64(t) * float64(uint64(1)<<tickShift)
+	if f >= float64(uint64(1)<<63) {
+		return math.MaxUint64
+	}
+	tick := uint64(f)
+	if tick < w.curTick {
+		tick = w.curTick
+	}
+	return tick
+}
+
+func (w *timerWheel) alloc() int32 {
+	if w.free != nilIdx {
+		idx := w.free
+		w.free = w.nodes[idx].next
+		return idx
+	}
+	w.nodes = append(w.nodes, timerNode{})
+	return int32(len(w.nodes) - 1)
+}
+
+func (w *timerWheel) freeNode(idx int32) {
+	n := &w.nodes[idx]
+	n.gen++
+	n.fn = nil
+	n.seq = 0
+	n.pos = posFree
+	n.next = w.free
+	w.free = idx
+}
+
+// schedule inserts an event and returns its handle.
+func (w *timerWheel) schedule(at Time, fn func()) Timer {
+	idx := w.alloc()
+	n := &w.nodes[idx]
+	w.seq++
+	n.at, n.tick, n.seq, n.fn = at, w.tickOf(at), w.seq, fn
+	w.count++
+	w.place(idx)
+	return Timer{ref: idx + 1, gen: n.gen}
+}
+
+// place links node idx into the wheel, the overflow list, or — when
+// its tick is the one currently draining — the pending run-queue in
+// (time, seq) order.
+//
+// The level is the smallest one whose unit distance from the clock
+// fits a single rotation: (tick>>shift) - (curTick>>shift) < 64.
+// Choosing by raw delta magnitude instead is subtly wrong when the
+// clock sits mid-unit: an event one full rotation ahead can land in
+// the slot the clock currently occupies, and cascading it re-places
+// it into the same slot forever.  The unit-distance rule guarantees
+// every slot holds only current-rotation events, so findNext's
+// candidate ticks are exact and every cascade makes progress.
+func (w *timerWheel) place(idx int32) {
+	n := &w.nodes[idx]
+	tick := n.tick
+	if tick <= w.curTick && w.pendIdx < len(w.pending) {
+		w.insertPending(idx)
+		return
+	}
+	level := 0
+	for level < levelCount && (tick>>(uint(level)*levelBits))-(w.curTick>>(uint(level)*levelBits)) >= slotCount {
+		level++
+	}
+	if level == levelCount {
+		// No rotation window reaches it from here: park in overflow
+		// until the clock comes close enough.
+		n.pos = posOverflow
+		n.prev = nilIdx
+		n.next = w.overflow
+		if w.overflow != nilIdx {
+			w.nodes[w.overflow].prev = idx
+		}
+		w.overflow = idx
+		if tick < w.overflowMin {
+			w.overflowMin = tick
+		}
+		return
+	}
+	slot := int((tick >> (uint(level) * levelBits)) & slotMask)
+	n.pos = uint16(level)<<8 | uint16(slot)
+	n.prev = nilIdx
+	n.next = w.slots[level][slot]
+	if n.next != nilIdx {
+		w.nodes[n.next].prev = idx
+	}
+	w.slots[level][slot] = idx
+	w.occ[level] |= 1 << uint(slot)
+}
+
+// insertPending splices a node into the live run-queue at its (time,
+// seq) position.  Everything before the cursor has already executed
+// and is never revisited, and At() forbids scheduling in the past, so
+// the insertion point is always at or after the cursor.
+func (w *timerWheel) insertPending(idx int32) {
+	n := &w.nodes[idx]
+	n.pos = posPending
+	lo, hi := w.pendIdx, len(w.pending)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &w.nodes[w.pending[mid]]
+		if m.at < n.at || (m.at == n.at && m.seq < n.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.pending = append(w.pending, 0)
+	copy(w.pending[lo+1:], w.pending[lo:])
+	w.pending[lo] = idx
+}
+
+// unlink removes node idx from whichever structure holds it.  The
+// node stays allocated; the caller frees or re-places it.
+func (w *timerWheel) unlink(idx int32) {
+	n := &w.nodes[idx]
+	switch n.pos {
+	case posFree:
+		panic("sim: unlink of free timer node")
+	case posPending:
+		for i := w.pendIdx; i < len(w.pending); i++ {
+			if w.pending[i] == idx {
+				w.pending = append(w.pending[:i], w.pending[i+1:]...)
+				break
+			}
+		}
+	case posOverflow:
+		if n.prev != nilIdx {
+			w.nodes[n.prev].next = n.next
+		} else {
+			w.overflow = n.next
+		}
+		if n.next != nilIdx {
+			w.nodes[n.next].prev = n.prev
+		}
+	default:
+		level, slot := int(n.pos>>8), int(n.pos&0xFF)
+		if n.prev != nilIdx {
+			w.nodes[n.prev].next = n.next
+		} else {
+			w.slots[level][slot] = n.next
+		}
+		if n.next != nilIdx {
+			w.nodes[n.next].prev = n.prev
+		}
+		if w.slots[level][slot] == nilIdx {
+			w.occ[level] &^= 1 << uint(slot)
+		}
+	}
+}
+
+// cancel removes the event tm refers to; it reports false when the
+// event already fired, was already cancelled, or tm is the zero Timer.
+func (w *timerWheel) cancel(tm Timer) bool {
+	idx := tm.ref - 1
+	if idx < 0 || int(idx) >= len(w.nodes) {
+		return false
+	}
+	if n := &w.nodes[idx]; n.gen != tm.gen || n.pos == posFree {
+		return false
+	}
+	w.unlink(idx)
+	w.freeNode(idx)
+	w.count--
+	return true
+}
+
+// reschedule moves the event tm refers to to a new time, keeping the
+// handle valid.  It reports false when the event is no longer live.
+func (w *timerWheel) reschedule(tm Timer, at Time) bool {
+	idx := tm.ref - 1
+	if idx < 0 || int(idx) >= len(w.nodes) {
+		return false
+	}
+	n := &w.nodes[idx]
+	if n.gen != tm.gen || n.pos == posFree {
+		return false
+	}
+	w.unlink(idx)
+	w.seq++
+	n.at, n.tick, n.seq = at, w.tickOf(at), w.seq
+	w.place(idx)
+	return true
+}
+
+func (w *timerWheel) wheelEmpty() bool {
+	for _, b := range w.occ {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// peek returns the slab index of the next event to fire without
+// consuming it, advancing the wheel (cascades, overflow pull-in,
+// tick drains) as needed.
+func (w *timerWheel) peek() (int32, bool) {
+	for {
+		if w.pendIdx < len(w.pending) {
+			return w.pending[w.pendIdx], true
+		}
+		w.pending = w.pending[:0]
+		w.pendIdx = 0
+		if w.count == 0 {
+			return 0, false
+		}
+		if w.overflow != nilIdx {
+			if w.wheelEmpty() && w.overflowMin > w.curTick {
+				// Nothing nearer exists: jump the clock straight to
+				// the earliest overflow event so it becomes placeable.
+				w.curTick = w.overflowMin
+			}
+			const topShift = uint((levelCount - 1) * levelBits)
+			if (w.overflowMin>>topShift)-(w.curTick>>topShift) < slotCount {
+				// The earliest overflow event now fits a top-level
+				// rotation window, so redistribution is guaranteed to
+				// move at least it into the wheel.
+				w.redistributeOverflow()
+			}
+		}
+		dueTick, level, slot, found := w.findNext()
+		if !found {
+			panic("sim: calendar lost events")
+		}
+		w.curTick = dueTick
+		if level > 0 {
+			w.cascade(level, slot)
+			continue
+		}
+		w.drainSlot(slot)
+	}
+}
+
+// take consumes the event peek returned, freeing its record.
+func (w *timerWheel) take() (Time, func()) {
+	idx := w.pending[w.pendIdx]
+	w.pendIdx++
+	n := &w.nodes[idx]
+	at, fn := n.at, n.fn
+	w.freeNode(idx)
+	w.count--
+	return at, fn
+}
+
+// findNext locates the earliest occupied slot across all levels.  The
+// returned tick is a lower bound on the events in that slot (exact at
+// level 0 unless the slot holds only later-rotation placements, which
+// the drain re-places).  Ties prefer the lowest level so draining
+// beats cascading.
+func (w *timerWheel) findNext() (tick uint64, level, slot int, found bool) {
+	best := uint64(math.MaxUint64)
+	bestLevel, bestSlot := -1, 0
+	for l := 0; l < levelCount; l++ {
+		b := w.occ[l]
+		if b == 0 {
+			continue
+		}
+		shift := uint(l) * levelBits
+		cur := w.curTick >> shift // whole wheel-l units
+		curSlot := int(cur & slotMask)
+		var unit uint64
+		var s int
+		if m := b & (^uint64(0) << uint(curSlot)); m != 0 {
+			s = bits.TrailingZeros64(m)
+			unit = (cur &^ slotMask) + uint64(s)
+		} else {
+			// Only wrapped (next-rotation) slots remain at this level.
+			s = bits.TrailingZeros64(b)
+			unit = (cur &^ slotMask) + slotCount + uint64(s)
+		}
+		cand := unit << shift
+		if cand < w.curTick {
+			cand = w.curTick // the slot's range straddles the clock
+		}
+		if cand < best {
+			best, bestLevel, bestSlot = cand, l, s
+		}
+	}
+	if bestLevel < 0 {
+		return 0, 0, 0, false
+	}
+	return best, bestLevel, bestSlot, true
+}
+
+// cascade redistributes one higher-level slot down the hierarchy now
+// that the clock has reached its range.
+func (w *timerWheel) cascade(level, slot int) {
+	idx := w.slots[level][slot]
+	w.slots[level][slot] = nilIdx
+	w.occ[level] &^= 1 << uint(slot)
+	for idx != nilIdx {
+		next := w.nodes[idx].next
+		w.place(idx)
+		idx = next
+	}
+}
+
+// drainSlot moves the current tick's events from a level-0 slot into
+// the pending run-queue in (time, seq) order.  The unit-distance
+// placement rule means a level-0 slot holds exactly one tick value,
+// but later-tick residents are still re-placed, never fired, as a
+// defensive invariant.
+func (w *timerWheel) drainSlot(slot int) {
+	idx := w.slots[0][slot]
+	w.slots[0][slot] = nilIdx
+	w.occ[0] &^= 1 << uint(slot)
+	relink := nilIdx
+	for idx != nilIdx {
+		next := w.nodes[idx].next
+		n := &w.nodes[idx]
+		if n.tick <= w.curTick {
+			n.pos = posPending
+			w.pending = append(w.pending, idx)
+		} else {
+			n.next = relink
+			relink = idx
+		}
+		idx = next
+	}
+	for relink != nilIdx {
+		next := w.nodes[relink].next
+		w.place(relink)
+		relink = next
+	}
+	// Buckets are LIFO-linked; reversing restores near-sorted seq
+	// order, so the insertion sort below is effectively linear.
+	p := w.pending
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	for i := 1; i < len(p); i++ {
+		v := p[i]
+		n := &w.nodes[v]
+		j := i
+		for j > 0 {
+			m := &w.nodes[p[j-1]]
+			if m.at < n.at || (m.at == n.at && m.seq < n.seq) {
+				break
+			}
+			p[j] = p[j-1]
+			j--
+		}
+		p[j] = v
+	}
+}
+
+// redistributeOverflow re-places every overflow event; place moves
+// the ones now within wheel range into the hierarchy and parks the
+// rest back in overflow, recomputing the overflow minimum.
+func (w *timerWheel) redistributeOverflow() {
+	idx := w.overflow
+	w.overflow = nilIdx
+	w.overflowMin = math.MaxUint64
+	for idx != nilIdx {
+		next := w.nodes[idx].next
+		w.place(idx)
+		idx = next
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"strconv"
+	"testing"
+)
+
+// tickTime converts a wheel tick to the simulated time that maps back
+// onto it; ticks well below 2^52 are exact in float64.
+func tickTime(tick uint64) Time {
+	return Time(float64(tick) / float64(uint64(1)<<tickShift))
+}
+
+// TestWheelSameTickFIFOAcrossLevels pins that events at the same
+// simulated time fire in schedule order even when they entered the
+// wheel at different levels: one scheduled from far away (high level,
+// cascaded down), one scheduled late from nearby (level 0 directly).
+func TestWheelSameTickFIFOAcrossLevels(t *testing.T) {
+	k := New()
+	target := tickTime(1 << 14) // level-2 distance from time zero
+	var order []int
+	k.At(target, func() { order = append(order, 1) }) // placed at a high level
+	k.At(target/2, func() {
+		// Halfway there: target is now a lower-level distance away.
+		k.At(target, func() { order = append(order, 2) })
+	})
+	k.At(target, func() { order = append(order, 3) }) // also high level
+	k.Run(Infinity)
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Fatalf("same-time events fired as %v, want [1 3 2] (schedule order)", order)
+	}
+}
+
+// TestWheelCascadeAtLevelBoundaries schedules events straddling every
+// level boundary (tick 64^l ± 1) and checks they fire in time order —
+// the cascade path must hand events down the hierarchy exactly once
+// per level without reordering or losing them.
+func TestWheelCascadeAtLevelBoundaries(t *testing.T) {
+	k := New()
+	var ticks []uint64
+	for l := 1; l < levelCount; l++ {
+		b := uint64(1) << (uint(l) * levelBits)
+		ticks = append(ticks, b-1, b, b+1)
+	}
+	var got []Time
+	// Schedule in reverse so drain order cannot be an artifact of
+	// schedule order.
+	for i := len(ticks) - 1; i >= 0; i-- {
+		at := tickTime(ticks[i])
+		k.At(at, func() { got = append(got, k.Now()) })
+	}
+	k.Run(Infinity)
+	if len(got) != len(ticks) {
+		t.Fatalf("fired %d events, want %d", len(got), len(ticks))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("cascade reordered events: time %v fired after %v", got[i], got[i-1])
+		}
+	}
+	for i, at := range got {
+		if want := tickTime(ticks[i]); at != want {
+			t.Fatalf("event %d fired at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestWheelScheduleAtNow pins the schedule-at-now path: an event that
+// schedules more work at the current instant must see it run at the
+// same simulated time, after all previously scheduled same-time work,
+// and before anything later.
+func TestWheelScheduleAtNow(t *testing.T) {
+	k := New()
+	var order []string
+	k.At(5, func() {
+		order = append(order, "a")
+		k.After(0, func() { order = append(order, "chain") })
+		k.At(k.Now(), func() { order = append(order, "at-now") })
+	})
+	k.At(5, func() { order = append(order, "b") })
+	k.At(6, func() { order = append(order, "later") })
+	end := k.Run(Infinity)
+	want := []string{"a", "b", "chain", "at-now", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	if end != 6 {
+		t.Fatalf("final time %v, want 6", end)
+	}
+}
+
+// TestWheelCancelRescheduleSlabReuse pins the slab lifecycle: a
+// cancelled event's record is recycled by the next schedule, and the
+// stale Timer handle — though it now points at a live slot — is dead,
+// because the generation counter advanced.
+func TestWheelCancelRescheduleSlabReuse(t *testing.T) {
+	k := New()
+	old := k.AtTimer(10, func() { t.Fatal("cancelled event fired") })
+	if !k.Cancel(old) {
+		t.Fatal("cancel of live timer failed")
+	}
+	slab := len(k.cal.nodes)
+	ran := false
+	fresh := k.AtTimer(20, func() { ran = true })
+	if len(k.cal.nodes) != slab {
+		t.Fatalf("schedule after cancel grew the slab to %d nodes, want %d (free-list reuse)", len(k.cal.nodes), slab)
+	}
+	if fresh.ref != old.ref {
+		t.Fatalf("fresh timer uses slab ref %d, want recycled ref %d", fresh.ref, old.ref)
+	}
+	if fresh.gen == old.gen {
+		t.Fatal("recycled slot kept its generation; stale handles would stay live")
+	}
+	if k.Cancel(old) {
+		t.Fatal("stale handle cancelled the recycled slot's new event")
+	}
+	if k.Reschedule(old, 30) {
+		t.Fatal("stale handle rescheduled the recycled slot's new event")
+	}
+	if !k.Reschedule(fresh, 5) {
+		t.Fatal("reschedule of live recycled timer failed")
+	}
+	k.Run(Infinity)
+	if !ran {
+		t.Fatal("rescheduled event never fired")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock at %v, want 5 (the rescheduled time)", k.Now())
+	}
+}
+
+// TestHorizonBoundary pins Run's boundary semantics: events exactly
+// at the horizon fire before Run returns; strictly later events wait.
+func TestHorizonBoundary(t *testing.T) {
+	k := New()
+	var ran []string
+	k.At(10, func() { ran = append(ran, "at-horizon") })
+	k.At(10.0000001, func() { ran = append(ran, "past-horizon") })
+	if end := k.Run(10); end != 10 {
+		t.Fatalf("Run(10) returned %v, want 10", end)
+	}
+	if len(ran) != 1 || ran[0] != "at-horizon" {
+		t.Fatalf("events run by horizon 10: %v, want only the one exactly at 10", ran)
+	}
+	k.Run(Infinity)
+	if len(ran) != 2 {
+		t.Fatalf("later event did not survive the horizon cut: %v", ran)
+	}
+}
+
+// TestStepAfterStop pins that Step honours a prior Stop exactly once,
+// matching Run's contract of clearing the flag before executing.
+func TestStepAfterStop(t *testing.T) {
+	k := New()
+	ran := 0
+	k.At(1, func() { ran++ })
+	k.Stop()
+	if k.Step() {
+		t.Fatal("Step after Stop executed an event; it must consume the stop")
+	}
+	if ran != 0 {
+		t.Fatal("stopped Step ran the event")
+	}
+	if !k.Step() {
+		t.Fatal("second Step found no event; Stop was not reset")
+	}
+	if ran != 1 {
+		t.Fatalf("event ran %d times, want 1", ran)
+	}
+}
+
+// TestRequestTimeout covers all three RequestTimeout outcomes: an
+// idle facility acquires immediately, a queued waiter times out when
+// the holder outlasts its patience, and a patient waiter acquires on
+// release with the deadline cancelled in O(1).
+func TestRequestTimeout(t *testing.T) {
+	k := New()
+	f := k.NewFacility("disk", 1)
+	var events []string
+	k.Spawn("holder", func(p *Process) {
+		if !p.RequestTimeout(f, 0) {
+			t.Error("idle facility refused an immediate request")
+		}
+		p.Hold(10)
+		p.Release(f)
+	})
+	k.Spawn("impatient", func(p *Process) {
+		if p.RequestTimeout(f, 5) {
+			t.Error("impatient waiter acquired a facility held past its deadline")
+		}
+		events = append(events, "timeout@"+strconv.Itoa(int(p.Now())))
+	})
+	k.Spawn("patient", func(p *Process) {
+		if !p.RequestTimeout(f, 100) {
+			t.Error("patient waiter timed out despite release before its deadline")
+		}
+		events = append(events, "acquired@"+strconv.Itoa(int(p.Now())))
+		p.Release(f)
+	})
+	k.Run(Infinity)
+	if len(events) != 2 || events[0] != "timeout@5" || events[1] != "acquired@10" {
+		t.Fatalf("events %v, want [timeout@5 acquired@10]", events)
+	}
+	if f.QueueLen() != 0 {
+		t.Fatalf("queue still holds %d waiters", f.QueueLen())
+	}
+	if got := f.Acquired(); got != 2 {
+		t.Fatalf("acquisitions %d, want 2 (timeout must not count)", got)
+	}
+}
+
+// TestRequestTimeoutReleaseRace pins the simultaneous release/timeout
+// instant: Release dequeues the waiter before its wakeup runs, so a
+// deadline firing at the very same time finds the queue empty and the
+// waiter acquires.  The tie is deterministic — handover wins.
+func TestRequestTimeoutReleaseRace(t *testing.T) {
+	k := New()
+	f := k.NewFacility("disk", 1)
+	acquired := false
+	k.Spawn("holder", func(p *Process) {
+		p.Request(f)
+		p.Hold(5)
+		p.Release(f)
+	})
+	k.Spawn("waiter", func(p *Process) {
+		acquired = p.RequestTimeout(f, 5) // deadline == release instant
+		if acquired {
+			p.Release(f)
+		}
+	})
+	k.Run(Infinity)
+	if !acquired {
+		t.Fatal("waiter timed out at the release instant; handover must win the tie")
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the zero-alloc property the slab
+// exists for: once the free list is primed, a schedule/fire cycle and
+// a schedule/cancel cycle allocate nothing.  The heap calendar paid
+// at least two allocations per event here (the record and the
+// closure), so this also locks in the ≥5x improvement.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	k := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ { // prime the slab and the pending buffer
+		k.After(Time(i), fn)
+	}
+	k.Run(Infinity)
+	if got := testing.AllocsPerRun(100, func() {
+		k.After(1, fn)
+		k.Run(Infinity)
+	}); got != 0 {
+		t.Errorf("schedule+fire allocates %v/op in steady state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		tm := k.AfterTimer(1, fn)
+		k.Cancel(tm)
+	}); got != 0 {
+		t.Errorf("schedule+cancel allocates %v/op in steady state, want 0", got)
+	}
+}
+
+// BenchmarkCalendarSchedule measures the schedule-heavy steady state:
+// one O(1) wheel insertion per op with the drain amortized across a
+// 1024-event window.  The heap calendar paid O(log n) sift plus two
+// allocations here.
+func BenchmarkCalendarSchedule(b *testing.B) {
+	k := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i&1023)*1e-4, fn)
+		if i&1023 == 1023 {
+			k.Run(Infinity)
+		}
+	}
+	k.Run(Infinity)
+}
+
+// BenchmarkCalendarCancel measures the schedule-then-cancel cycle the
+// process layer's timeouts produce: both ends are O(1) slab hits, and
+// the record recycles through the free list without garbage.
+func BenchmarkCalendarCancel(b *testing.B) {
+	k := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := k.AfterTimer(Time(i&255)*1e-3, fn)
+		k.Cancel(tm)
+	}
+}

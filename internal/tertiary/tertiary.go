@@ -130,7 +130,13 @@ func TapeOrder(m, n, w int) ([]FragRef, error) {
 // schedulers re-route every queued cold request each interval, so
 // Request/Pending sit on their hot paths.
 type Manager struct {
+	// The FCFS queue is a head-indexed ring over one backing slice:
+	// StartNext advances head instead of re-slicing, and Request
+	// compacts the dead prefix before growing, so steady-state
+	// traffic recycles one allocation instead of crawling the backing
+	// array forward forever.
 	queue    []int
+	head     int
 	queued   []bool
 	inflight int // object id being materialized, or -1
 	served   int
@@ -159,6 +165,11 @@ func (m *Manager) Request(id int) bool {
 		m.queued = next
 	}
 	m.queued[id] = true
+	if len(m.queue) == cap(m.queue) && m.head > 0 {
+		n := copy(m.queue, m.queue[m.head:])
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
 	m.queue = append(m.queue, id)
 	return true
 }
@@ -170,17 +181,20 @@ func (m *Manager) Busy() bool { return m.inflight >= 0 }
 func (m *Manager) Inflight() int { return m.inflight }
 
 // QueueLen returns the number of queued (not yet started) requests.
-func (m *Manager) QueueLen() int { return len(m.queue) }
+func (m *Manager) QueueLen() int { return len(m.queue) - m.head }
 
 // StartNext dequeues the oldest request and marks it in flight.  It
 // reports ok=false when the queue is empty or a materialization is
 // already running.
 func (m *Manager) StartNext() (id int, ok bool) {
-	if m.inflight >= 0 || len(m.queue) == 0 {
+	if m.inflight >= 0 || m.head == len(m.queue) {
 		return -1, false
 	}
-	id = m.queue[0]
-	m.queue = m.queue[1:]
+	id = m.queue[m.head]
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue, m.head = m.queue[:0], 0
+	}
 	m.queued[id] = false
 	m.inflight = id
 	return id, true

@@ -17,7 +17,10 @@ go test -race ./...
 echo "== short benchmarks (interval engines)"
 go test -bench 'BenchmarkFigure8a$|BenchmarkTable4$' -benchmem -benchtime 3x -run '^$' .
 
-echo "== perf-regression report"
-go run ./cmd/bench -out BENCH_1.json
+echo "== kernel calendar microbenchmarks (short mode)"
+go test -bench 'BenchmarkCalendar' -benchmem -benchtime 100000x -run '^$' ./internal/sim
+
+echo "== perf-regression report + gate (>20% ns/op over reference fails)"
+go run ./cmd/bench -out BENCH_2.json -maxregress 0.20
 
 echo "CI OK"
