@@ -125,7 +125,7 @@ func benchFigure8(b *testing.B, mean float64) {
 			b.Fatal(err)
 		}
 		last := pts[len(pts)-1]
-		if last.Striped.Throughput() <= last.VDR.Throughput() {
+		if last.Striped().Throughput() <= last.VDR().Throughput() {
 			b.Fatalf("striping did not win at high load (mean %v)", mean)
 		}
 	}

@@ -29,18 +29,24 @@ func main() {
 // run holds the program body so deferred cleanup (the profile
 // writers) executes before the process exits.
 func run() (code int) {
-	technique := flag.String("technique", "striped", "striped (k=M), staggered (with -stride), or vdr")
+	technique := flag.String("technique", "striped", "technique key from the registry (see -list-techniques)")
 	stations := flag.Int("stations", 64, "number of display stations (closed system)")
 	dist := flag.Float64("dist", 20, "geometric access-distribution mean (10, 20, 43.5)")
-	stride := flag.Int("stride", 0, "stride for -technique staggered (default 1)")
+	stride := flag.Int("stride", 0, "stride k for -technique staggered (0 = technique default)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	scaleFlag := flag.String("scale", "full", "full (Table 3) or quick")
 	warmup := flag.Int("warmup", 0, "warm-up intervals (0 = scale default)")
 	measure := flag.Int("measure", 0, "measurement intervals (0 = scale default)")
-	trace := flag.Int("trace", 0, "print the first N scheduler events (striped/staggered only)")
+	trace := flag.Int("trace", 0, "print the first N scheduler events")
+	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *listTech {
+		printTechniques()
+		return 0
+	}
 
 	scale := experiment.Full
 	if *scaleFlag == "quick" {
@@ -72,48 +78,32 @@ func run() (code int) {
 		cfg.MeasureIntervals = *measure
 	}
 
-	var res sched.Result
-	switch *technique {
-	case "striped":
-		eng, err := sched.NewStriped(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
-			return 1
-		}
-		installTracer(eng, *trace)
-		res = eng.Run()
-	case "staggered":
-		if *stride == 0 {
-			*stride = 1
-		}
-		cfg.K = *stride
-		cfg.Fragmented = true
-		cfg.Coalescing = true
-		eng, err := sched.NewStriped(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
-			return 1
-		}
-		installTracer(eng, *trace)
-		res = eng.Run()
-	case "vdr":
-		eng, err := sched.NewVDR(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
-			return 1
-		}
-		res = eng.Run()
-	default:
+	if _, ok := sched.TechniqueByKey(*technique); !ok {
 		fmt.Fprintf(os.Stderr, "ssim: unknown technique %q\n", *technique)
+		printTechniques()
 		return 2
 	}
+	eng, normalized, err := sched.NewEngineFor(*technique, cfg, *stride)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+		return 1
+	}
+	installTracer(eng, *trace)
+	res := eng.Run()
 
-	printResult(cfg, res)
+	printResult(normalized, res)
 	return 0
 }
 
+// printTechniques lists the registry, one technique per line.
+func printTechniques() {
+	for _, ti := range sched.Techniques() {
+		fmt.Printf("%-10s %s — %s\n", ti.Key, ti.Display, ti.Summary)
+	}
+}
+
 // installTracer prints the first n scheduler events.
-func installTracer(eng *sched.Striped, n int) {
+func installTracer(eng *sched.Engine, n int) {
 	if n <= 0 {
 		return
 	}

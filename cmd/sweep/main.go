@@ -13,6 +13,8 @@
 //	sweep -dist 20                # one distribution only
 //	sweep -stations 16,64,128,256 # restrict the station sweep
 //	sweep -csv                    # machine-readable output
+//	sweep -technique staggered -k 1  # sweep one registered technique
+//	sweep -list-techniques        # show the technique registry
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/profiling"
+	"github.com/mmsim/staggered/internal/sched"
 	"github.com/mmsim/staggered/internal/workload"
 )
 
@@ -40,9 +43,25 @@ func run() (code int) {
 	stationsFlag := flag.String("stations", "", "comma-separated station counts; empty = paper sweep 1..256")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	techFlag := flag.String("technique", "", "comma-separated technique keys (see -list-techniques); empty = paper pair striped,vdr")
+	stride := flag.Int("k", 0, "stride k for the staggered technique (0 = technique default)")
+	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *listTech {
+		for _, ti := range sched.Techniques() {
+			fmt.Printf("%-10s %s — %s\n", ti.Key, ti.Display, ti.Summary)
+		}
+		return 0
+	}
+
+	specs, err := parseTechniques(*techFlag, *stride)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 2
+	}
 
 	scale := experiment.Full
 	switch *scaleFlag {
@@ -83,20 +102,26 @@ func run() (code int) {
 
 	byMean := map[float64][]experiment.Point{}
 	for _, mean := range means {
-		pts, err := experiment.Figure8(scale, mean, stations, *seed)
+		pts, err := experiment.Figure8Techniques(scale, mean, stations, *seed, specs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			return 1
 		}
 		byMean[mean] = pts
 		if *csv {
-			fmt.Print(pointsCSV(mean, pts))
+			if specs == nil {
+				fmt.Print(pointsCSV(mean, pts))
+			} else {
+				fmt.Print(techniquesCSV(mean, pts))
+			}
 		} else {
 			fmt.Println(experiment.Figure8Render(mean, pts))
 		}
 	}
 
-	if *dist == 0 {
+	// Table 4 compares the paper pair; it only applies to the
+	// default sweep.
+	if *dist == 0 && specs == nil {
 		tbl := experiment.Table4(byMean)
 		fmt.Println("Table 4: percentage improvement in throughput (displays per hour)")
 		fmt.Println("with simple striping as compared to virtual data replication.")
@@ -170,16 +195,69 @@ func pointsCSV(mean float64, pts []experiment.Point) string {
 		"striped_latency_s", "vdr_latency_s", "vdr_unique_residents",
 	}}
 	for _, p := range pts {
+		striped, vdr := p.Striped(), p.VDR()
 		tbl.AddRow(
 			fmt.Sprintf("%v", mean),
 			fmt.Sprintf("%d", p.Stations),
-			fmt.Sprintf("%.2f", p.Striped.Throughput()),
-			fmt.Sprintf("%.2f", p.VDR.Throughput()),
+			fmt.Sprintf("%.2f", striped.Throughput()),
+			fmt.Sprintf("%.2f", vdr.Throughput()),
 			fmt.Sprintf("%.2f", p.Improvement()),
-			fmt.Sprintf("%.2f", p.Striped.Latency.Mean()),
-			fmt.Sprintf("%.2f", p.VDR.Latency.Mean()),
-			fmt.Sprintf("%d", p.VDR.UniqueResidents),
+			fmt.Sprintf("%.2f", striped.Latency.Mean()),
+			fmt.Sprintf("%.2f", vdr.Latency.Mean()),
+			fmt.Sprintf("%d", vdr.UniqueResidents),
 		)
 	}
 	return tbl.CSV()
+}
+
+// techniquesCSV is the long-form CSV for arbitrary technique
+// selections: one row per (point, technique).
+func techniquesCSV(mean float64, pts []experiment.Point) string {
+	tbl := &metrics.Table{Header: []string{
+		"mean", "stations", "technique", "name", "per_hour", "latency_s", "unique_residents",
+	}}
+	for _, p := range pts {
+		for i, label := range p.Techniques {
+			r := p.Runs[i]
+			tbl.AddRow(
+				fmt.Sprintf("%v", mean),
+				fmt.Sprintf("%d", p.Stations),
+				label,
+				r.Technique,
+				fmt.Sprintf("%.2f", r.Throughput()),
+				fmt.Sprintf("%.2f", r.Latency.Mean()),
+				fmt.Sprintf("%d", r.UniqueResidents),
+			)
+		}
+	}
+	return tbl.CSV()
+}
+
+// parseTechniques turns the -technique flag into sweep specs.  An
+// empty flag returns nil, selecting the paper's default pair.
+func parseTechniques(s string, stride int) ([]experiment.TechSpec, error) {
+	if s == "" {
+		if stride != 0 {
+			return nil, fmt.Errorf("-k requires -technique staggered")
+		}
+		return nil, nil
+	}
+	var specs []experiment.TechSpec
+	strideUsed := false
+	for _, part := range strings.Split(s, ",") {
+		key := strings.TrimSpace(part)
+		if _, ok := sched.TechniqueByKey(key); !ok {
+			return nil, fmt.Errorf("unknown technique %q (have %s)", key, strings.Join(sched.TechniqueKeys(), ", "))
+		}
+		spec := experiment.TechSpec{Key: key}
+		if key == experiment.TechStaggered {
+			spec.Stride = stride
+			strideUsed = true
+		}
+		specs = append(specs, spec)
+	}
+	if stride != 0 && !strideUsed {
+		return nil, fmt.Errorf("-k requires -technique staggered")
+	}
+	return specs, nil
 }

@@ -29,13 +29,13 @@ func TestIntegrationPaperPipeline(t *testing.T) {
 			t.Errorf("figure for mean %v malformed", mean)
 		}
 		for _, p := range pts {
-			if p.Striped.Hiccups != 0 || p.VDR.Hiccups != 0 {
+			if p.Striped().Hiccups != 0 || p.VDR().Hiccups != 0 {
 				t.Errorf("mean %v stations %d: hiccups", mean, p.Stations)
 			}
 		}
 		// High-load point: striping wins in every distribution.
 		last := pts[len(pts)-1]
-		if last.Striped.Throughput() <= last.VDR.Throughput() {
+		if last.Striped().Throughput() <= last.VDR().Throughput() {
 			t.Errorf("mean %v: striping lost at %d stations", mean, last.Stations)
 		}
 	}

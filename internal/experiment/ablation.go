@@ -33,41 +33,30 @@ func StrideAblation(scale Scale, stations int, mean float64, seed uint64) ([]Str
 	// comparison the ablation is after.
 	cfg.CapacityFragments += cfg.CapacityFragments / 5
 
+	// Every row is built through the technique registry, so the
+	// ablation measures exactly what `sweep -technique X` runs.
+	rows := []struct {
+		label  string
+		key    string
+		stride int
+		report int // the stride column
+	}{
+		{"staggered k=1", TechStaggered, 1, 1},
+		{fmt.Sprintf("simple k=M=%d", cfg.M), TechStriped, 0, cfg.M},
+		{"pinned k=D (VDR)", TechVDR, 0, cfg.D},
+	}
 	var out []StrideResult
-
-	k1 := cfg
-	k1.K = 1
-	k1.Fragmented = true
-	k1.Coalescing = true
-	e1, err := sched.NewStriped(k1)
-	if err != nil {
-		return nil, err
+	for _, row := range rows {
+		e, _, err := sched.NewEngineFor(row.key, cfg, row.stride)
+		if err != nil {
+			return nil, err
+		}
+		r := e.Run()
+		out = append(out, StrideResult{
+			Label: row.label, Stride: row.report, Run: r,
+			MeanWaitS: r.Latency.Mean(), WorstWaitS: r.Latency.Max(),
+		})
 	}
-	r1 := e1.Run()
-	out = append(out, StrideResult{
-		Label: "staggered k=1", Stride: 1, Run: r1,
-		MeanWaitS: r1.Latency.Mean(), WorstWaitS: r1.Latency.Max(),
-	})
-
-	eM, err := sched.NewStriped(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rM := eM.Run()
-	out = append(out, StrideResult{
-		Label: fmt.Sprintf("simple k=M=%d", cfg.M), Stride: cfg.M, Run: rM,
-		MeanWaitS: rM.Latency.Mean(), WorstWaitS: rM.Latency.Max(),
-	})
-
-	eD, err := sched.NewVDR(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rD := eD.Run()
-	out = append(out, StrideResult{
-		Label: "pinned k=D (VDR)", Stride: cfg.D, Run: rD,
-		MeanWaitS: rD.Latency.Mean(), WorstWaitS: rD.Latency.Max(),
-	})
 	return out, nil
 }
 

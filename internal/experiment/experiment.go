@@ -52,47 +52,114 @@ func BaseConfig(scale Scale, stations int, mean float64, seed uint64) sched.Conf
 	}
 }
 
-// Point is one x-position of a Figure 8 graph: both techniques at the
-// same station count.
-type Point struct {
-	Stations int
-	Striped  metrics.Run
-	VDR      metrics.Run
+// Technique CLI keys, re-exported from the sched registry for sweep
+// callers.
+const (
+	TechStriped   = "striped"
+	TechStaggered = "staggered"
+	TechVDR       = "vdr"
+)
+
+// TechSpec selects one registered technique for a sweep, optionally
+// with a stride argument (0 means the technique default).
+type TechSpec struct {
+	Key    string
+	Stride int
 }
 
-// Improvement returns the Table 4 quantity for this point.
-func (p Point) Improvement() float64 { return metrics.Improvement(p.Striped, p.VDR) }
+// Label is the stable identifier a sweep uses for this technique's
+// column: the CLI key, stride-qualified when one is set.
+func (s TechSpec) Label() string {
+	if s.Stride > 0 {
+		return fmt.Sprintf("%s(k=%d)", s.Key, s.Stride)
+	}
+	return s.Key
+}
+
+// DefaultTechniques is the paper's Figure 8 pair: simple striping vs
+// the virtual-data-replication baseline.
+func DefaultTechniques() []TechSpec {
+	return []TechSpec{{Key: TechStriped}, {Key: TechVDR}}
+}
+
+// Point is one x-position of a Figure 8 graph: every swept technique
+// at the same station count.  Techniques holds the sweep labels
+// (TechSpec.Label) and Runs the corresponding results, index-aligned.
+type Point struct {
+	Stations   int
+	Techniques []string
+	Runs       []sched.Result
+}
+
+// Result returns the run labelled label and whether it is present.
+func (p Point) Result(label string) (metrics.Run, bool) {
+	for i, l := range p.Techniques {
+		if l == label {
+			return p.Runs[i], true
+		}
+	}
+	return metrics.Run{}, false
+}
+
+// Striped returns the simple-striping run of this point (zero when
+// the sweep did not include it).
+func (p Point) Striped() metrics.Run {
+	r, _ := p.Result(TechStriped)
+	return r
+}
+
+// VDR returns the virtual-data-replication run of this point (zero
+// when the sweep did not include it).
+func (p Point) VDR() metrics.Run {
+	r, _ := p.Result(TechVDR)
+	return r
+}
+
+// Improvement returns the Table 4 quantity for this point: the
+// throughput improvement of simple striping over the baseline.
+func (p Point) Improvement() float64 { return metrics.Improvement(p.Striped(), p.VDR()) }
 
 // job is one engine run of one sweep point: the unit of work the
-// pool schedules.  Splitting the two techniques of a point into
-// separate jobs halves the critical path of a sweep — the striped and
-// VDR runs of the same station count no longer serialize.
+// pool schedules.  Splitting the techniques of a point into separate
+// jobs shortens the critical path of a sweep — the runs of the same
+// station count no longer serialize.
 type job struct {
-	mean    float64
-	idx     int // index into the stations slice
-	striped bool
+	mean float64
+	idx  int // index into the stations slice
+	tech int // index into the technique specs
 }
 
-// runSweep executes every (mean, station, engine) combination on a
+// runSweep executes every (mean, station, technique) combination on a
 // worker pool sized to GOMAXPROCS and assembles the per-mean point
-// slices.  Each job writes its own field of its own point, so workers
-// never contend and the result is independent of scheduling order:
-// the output is deterministic per seed regardless of parallelism.
-func runSweep(scale Scale, means []float64, stations []int, seed uint64) (map[float64][]Point, error) {
+// slices.  Each job writes its own element of its own point's Runs
+// slice, so workers never contend and the result is independent of
+// scheduling order: the output is deterministic per seed regardless
+// of parallelism.
+func runSweep(scale Scale, means []float64, stations []int, seed uint64, specs []TechSpec) (map[float64][]Point, error) {
 	if len(stations) == 0 {
 		stations = workload.PaperStations
 	}
+	if len(specs) == 0 {
+		specs = DefaultTechniques()
+	}
+	labels := make([]string, len(specs))
+	for i, s := range specs {
+		labels[i] = s.Label()
+	}
 	byMean := make(map[float64][]Point, len(means))
-	jobs := make(chan job, 2*len(means)*len(stations))
+	jobs := make(chan job, len(specs)*len(means)*len(stations))
 	for _, mean := range means {
 		pts := make([]Point, len(stations))
 		for i, st := range stations {
 			pts[i].Stations = st
+			pts[i].Techniques = labels
+			pts[i].Runs = make([]sched.Result, len(specs))
 		}
 		byMean[mean] = pts
 		for i := range stations {
-			jobs <- job{mean: mean, idx: i, striped: true}
-			jobs <- job{mean: mean, idx: i, striped: false}
+			for t := range specs {
+				jobs <- job{mean: mean, idx: i, tech: t}
+			}
 		}
 	}
 	close(jobs)
@@ -113,21 +180,8 @@ func runSweep(scale Scale, means []float64, stations []int, seed uint64) (map[fl
 			for j := range jobs {
 				p := &byMean[j.mean][j.idx]
 				cfg := BaseConfig(scale, p.Stations, j.mean, seed)
-				var (
-					run sched.Result
-					err error
-				)
-				if j.striped {
-					var e *sched.Striped
-					if e, err = sched.NewStriped(cfg); err == nil {
-						run = e.Run()
-					}
-				} else {
-					var e *sched.VDR
-					if e, err = sched.NewVDR(cfg); err == nil {
-						run = e.Run()
-					}
-				}
+				spec := specs[j.tech]
+				e, _, err := sched.NewEngineFor(spec.Key, cfg, spec.Stride)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -136,13 +190,9 @@ func runSweep(scale Scale, means []float64, stations []int, seed uint64) (map[fl
 					mu.Unlock()
 					continue
 				}
-				// Striped and VDR of the same point are distinct
-				// fields, so the two writes never overlap.
-				if j.striped {
-					p.Striped = run
-				} else {
-					p.VDR = run
-				}
+				// Each technique of the same point is a distinct
+				// slice element, so the writes never overlap.
+				p.Runs[j.tech] = e.Run()
 			}
 		}()
 	}
@@ -158,25 +208,60 @@ func runSweep(scale Scale, means []float64, stations []int, seed uint64) (map[fl
 // Engine runs execute in parallel on a GOMAXPROCS-sized pool; results
 // are deterministic per seed.
 func Figure8(scale Scale, mean float64, stations []int, seed uint64) ([]Point, error) {
-	byMean, err := runSweep(scale, []float64{mean}, stations, seed)
+	return Figure8Techniques(scale, mean, stations, seed, nil)
+}
+
+// Figure8Techniques runs one Figure 8 graph for an arbitrary set of
+// registered techniques (nil means the paper's default pair).
+func Figure8Techniques(scale Scale, mean float64, stations []int, seed uint64, specs []TechSpec) ([]Point, error) {
+	byMean, err := runSweep(scale, []float64{mean}, stations, seed, specs)
 	if err != nil {
 		return nil, err
 	}
 	return byMean[mean], nil
 }
 
+// seriesName maps a sweep label to its figure-legend name: the
+// paper's short names for the default pair, the engine-reported
+// technique name (which carries the stride) for everything else.
+func seriesName(label string, run metrics.Run) string {
+	switch label {
+	case TechStriped:
+		return "simple striping"
+	case TechVDR:
+		return "virtual replication"
+	}
+	if run.Technique != "" {
+		return run.Technique
+	}
+	return label
+}
+
 // Figure8Render formats one graph as text: throughput in displays per
-// hour against the number of display stations.
+// hour against the number of display stations, one series per swept
+// technique.
 func Figure8Render(mean float64, points []Point) string {
-	striping := metrics.Series{Name: "simple striping", Points: map[int]float64{}}
-	vdr := metrics.Series{Name: "virtual replication", Points: map[int]float64{}}
+	var series []metrics.Series
 	for _, p := range points {
-		striping.Points[p.Stations] = p.Striped.Throughput()
-		vdr.Points[p.Stations] = p.VDR.Throughput()
+		for i, label := range p.Techniques {
+			name := seriesName(label, p.Runs[i])
+			var s *metrics.Series
+			for j := range series {
+				if series[j].Name == name {
+					s = &series[j]
+					break
+				}
+			}
+			if s == nil {
+				series = append(series, metrics.Series{Name: name, Points: map[int]float64{}})
+				s = &series[len(series)-1]
+			}
+			s.Points[p.Stations] = p.Runs[i].Throughput()
+		}
 	}
 	title := fmt.Sprintf("Figure 8 (%s, geometric mean %v): throughput (displays/hour)",
 		workload.MeanLabel(mean), mean)
-	return metrics.RenderFigure(title, "stations", []metrics.Series{striping, vdr})
+	return metrics.RenderFigure(title, "stations", series)
 }
 
 // Table4 builds the paper's Table 4 from the three Figure 8 graphs:
@@ -209,5 +294,11 @@ func Table4(byMean map[float64][]Point) *metrics.Table {
 // different distributions interleave instead of executing graph by
 // graph.
 func RunAll(scale Scale, stations []int, seed uint64) (map[float64][]Point, error) {
-	return runSweep(scale, workload.PaperMeans, stations, seed)
+	return runSweep(scale, workload.PaperMeans, stations, seed, nil)
+}
+
+// RunAllTechniques is RunAll for an arbitrary set of registered
+// techniques (nil means the paper's default pair).
+func RunAllTechniques(scale Scale, stations []int, seed uint64, specs []TechSpec) (map[float64][]Point, error) {
+	return runSweep(scale, workload.PaperMeans, stations, seed, specs)
 }

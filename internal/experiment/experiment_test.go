@@ -36,21 +36,21 @@ func TestFigure8Quick(t *testing.T) {
 		t.Fatalf("points = %d", len(pts))
 	}
 	for _, p := range pts {
-		if p.Striped.Hiccups != 0 || p.VDR.Hiccups != 0 {
+		if p.Striped().Hiccups != 0 || p.VDR().Hiccups != 0 {
 			t.Fatalf("hiccups at %d stations", p.Stations)
 		}
-		if p.Striped.Throughput() <= 0 {
+		if p.Striped().Throughput() <= 0 {
 			t.Fatalf("no striped throughput at %d stations", p.Stations)
 		}
 	}
 	// The paper's central result at high load.
 	last := pts[len(pts)-1]
-	if last.Striped.Throughput() <= last.VDR.Throughput() {
+	if last.Striped().Throughput() <= last.VDR().Throughput() {
 		t.Fatalf("striping (%v) did not beat VDR (%v) at 32 stations",
-			last.Striped.Throughput(), last.VDR.Throughput())
+			last.Striped().Throughput(), last.VDR().Throughput())
 	}
 	// Throughput grows with offered load.
-	if pts[1].Striped.Throughput() < pts[0].Striped.Throughput() {
+	if pts[1].Striped().Throughput() < pts[0].Striped().Throughput() {
 		t.Fatal("striped throughput fell from 1 to 8 stations")
 	}
 }
@@ -64,7 +64,7 @@ func TestFigure8Deterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a[0].Striped.Displays != b[0].Striped.Displays || a[0].VDR.Displays != b[0].VDR.Displays {
+	if a[0].Striped().Displays != b[0].Striped().Displays || a[0].VDR().Displays != b[0].VDR().Displays {
 		t.Fatal("figure 8 runs not reproducible")
 	}
 }

@@ -42,8 +42,8 @@ func RunReplicated(scale Scale, mean float64, stations []int, seeds []uint64) ([
 				return nil, fmt.Errorf("experiment: station sweep mismatch across seeds")
 			}
 			out[i].Seeds++
-			out[i].StripedPerHour.Add(p.Striped.Throughput())
-			out[i].VDRPerHour.Add(p.VDR.Throughput())
+			out[i].StripedPerHour.Add(p.Striped().Throughput())
+			out[i].VDRPerHour.Add(p.VDR().Throughput())
 			imp := p.Improvement()
 			if !math.IsInf(imp, 0) {
 				out[i].ImprovementPct.Add(imp)

@@ -42,6 +42,41 @@ func TestDESValidationAgreesWithIntervalEngine(t *testing.T) {
 	}
 }
 
+// TestDESValidationAgreesWithGenericEngine repeats the model
+// cross-check against the registry-built generic engine: the
+// mechanism/policy split must not perturb the agreement with the
+// process-oriented model.
+func TestDESValidationAgreesWithGenericEngine(t *testing.T) {
+	for _, tc := range []struct {
+		stations int
+		mean     float64
+	}{
+		{1, 5},
+		{8, 5},
+		{16, 10},
+		{32, 10},
+	} {
+		cfg := smallConfig(tc.stations, tc.mean)
+		ie, _, err := NewEngineFor("striped", cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := ie.Run()
+		des, err := RunDESValidation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Displays == 0 && des == 0 {
+			continue
+		}
+		diff := math.Abs(float64(des-ri.Displays)) / float64(ri.Displays)
+		if diff > 0.05 {
+			t.Errorf("stations=%d mean=%v: generic engine %d displays, DES model %d (%.1f%% apart)",
+				tc.stations, tc.mean, ri.Displays, des, diff*100)
+		}
+	}
+}
+
 func TestDESValidationRejectsUnsupported(t *testing.T) {
 	cfg := smallConfig(4, 5)
 	cfg.Fragmented = true

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"github.com/mmsim/staggered/internal/policy"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
+	"github.com/mmsim/staggered/internal/tertiary"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+// request is one station's pending object reference.
+type request struct {
+	station int
+	object  int
+	arrived int // interval
+}
+
+// Technique is the policy half of an interval engine: everything that
+// differs between the striping family (virtual-disk-granular claims,
+// staggered placement probes, LFU whole-object eviction) and the
+// virtual-data-replication baseline (cluster-granular claims, dynamic
+// replication, marginal-value replica eviction).  The Engine owns the
+// mechanism — workload wake-ups, the request queue, think-time
+// reissue, window counters, and Result assembly — and calls the
+// technique at the four points of an interval where policy decides
+// what happens.
+//
+// Implementations live in this package and are exposed through the
+// technique registry (see registry.go); they hold their own stores,
+// occupancy tables, and event buckets, and reach shared state through
+// the Engine they are bound to.
+type Technique interface {
+	// name returns the display name reported in Result.Technique.
+	name() string
+	// bind wires the technique to its engine: validate geometry,
+	// allocate stores and event buckets, and preload the farm.
+	bind(e *Engine) error
+	// onEnqueue observes a newly queued reference, after the engine
+	// has recorded it (queue, pin count, LFU touch, trace event).
+	onEnqueue(req request)
+	// interval runs one interval of policy work in the engine's fixed
+	// phase order — claim endings due now, one tick of tertiary
+	// materialization, the admission scan, and any end-of-interval
+	// work (Algorithm 2 coalescing) — and returns the number of disks
+	// occupied during the interval, the integrand of the farm-busy
+	// statistic.  It is a single dispatch per interval so the phases
+	// stay statically-dispatched (and inlinable) inside the
+	// implementation: the engines run millions of intervals per
+	// sweep.
+	interval() int
+	// uniqueResidents counts the distinct objects on disk, for the
+	// end-of-run Result.
+	uniqueResidents() int
+}
+
+// Engine is the shared mechanism of the interval engines: the
+// interval loop, the station wake-up wheel, the admission queue, the
+// window counters, and Result assembly, parameterized by a Technique
+// that supplies placement, claim granularity, materialization
+// footprint, and replacement policy.  All per-interval work is
+// event-driven (see the technique implementations); an interval in
+// which nothing happens costs O(1).
+type Engine struct {
+	cfg  Config
+	tech Technique
+
+	lfu   *policy.LFU
+	tman  *tertiary.Manager
+	gen   *workload.Generator
+	stn   *workload.Stations
+	think []*rng.Stream // per-station think-time streams
+
+	queue        []request
+	queueScratch []request
+	pinned       []int               // object -> queued request count
+	wakeups      *sim.TickWheel[int] // interval -> stations whose think time ends
+	wakeupBuf    []int               // reused Due drain buffer
+	reissueBuf   []int               // stations to reissue after completions
+
+	now    int
+	tracer Tracer
+
+	// Counters (window handling in Run).
+	completed    int
+	materialized int
+	coalescings  int
+	replications int
+	hiccups      int
+	admitted     []float64 // admission latencies in seconds
+	busyArea     float64   // disk-busy integral in disk·intervals
+	tertBusy     int       // tertiary-busy intervals
+}
+
+// NewEngine builds an engine running the given technique.  Most
+// callers should go through the registry (NewEngineFor) or the kept
+// NewStriped/NewVDR constructors instead.
+func NewEngine(cfg Config, tech Technique) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tech:    tech,
+		lfu:     policy.NewLFU(),
+		tman:    tertiary.NewManager(),
+		gen:     gen,
+		stn:     workload.NewStations(gen),
+		pinned:  make([]int, cfg.Objects),
+		wakeups: sim.NewTickWheel[int](),
+	}
+	if cfg.ThinkMeanSeconds > 0 {
+		src := rng.NewSource(cfg.Seed)
+		e.think = make([]*rng.Stream, cfg.Stations)
+		for i := range e.think {
+			e.think[i] = src.StreamN("think", i)
+		}
+	}
+	if err := tech.bind(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the configuration the engine runs.
+func (e *Engine) Config() Config { return e.cfg }
+
+// TechniqueName returns the display name of the engine's technique.
+func (e *Engine) TechniqueName() string { return e.tech.name() }
+
+// enqueue issues a new reference for station s.
+func (e *Engine) enqueue(s int) {
+	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
+	req := request{station: r.Station, object: r.Object, arrived: e.now}
+	e.queue = append(e.queue, req)
+	e.pinned[req.object]++
+	e.lfu.Touch(req.object)
+	e.emit(EvRequest, req.object, req.station, "")
+	e.tech.onEnqueue(req)
+}
+
+// reissue starts station s's next request, after its think time when
+// one is configured.
+func (e *Engine) reissue(s int) {
+	if e.cfg.ThinkMeanSeconds <= 0 {
+		e.enqueue(s)
+		return
+	}
+	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
+	delay := int(secs / e.cfg.IntervalSeconds())
+	if delay < 1 {
+		delay = 1
+	}
+	e.wakeups.Add(e.now+delay, s)
+}
+
+// step advances the simulation by one interval: wake-ups, then the
+// technique's policy work (claim endings, tertiary progress,
+// admissions, end-of-interval work), then the busy integral — the
+// same event order CSIM's process scheduling yields for this model.
+func (e *Engine) step() {
+	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
+	for _, st := range e.wakeupBuf {
+		e.enqueue(st)
+	}
+	e.busyArea += float64(e.tech.interval())
+	e.now++
+}
+
+// Run executes warm-up and measurement and returns the statistics.
+func (e *Engine) Run() Result {
+	if e.now != 0 {
+		panic("sched: Run called twice")
+	}
+	for s := 0; s < e.cfg.Stations; s++ {
+		e.enqueue(s)
+	}
+	for e.now < e.cfg.WarmupIntervals {
+		e.step()
+	}
+	// Reset window counters.
+	e.completed, e.materialized, e.coalescings, e.replications = 0, 0, 0, 0
+	e.admitted = e.admitted[:0]
+	e.busyArea, e.tertBusy = 0, 0
+
+	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
+	for e.now < end {
+		e.step()
+	}
+
+	res := Result{
+		Technique:       e.tech.name(),
+		Stations:        e.cfg.Stations,
+		DistMean:        e.cfg.DistMean,
+		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
+		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
+		Displays:        e.completed,
+		Materializa:     e.materialized,
+		Replications:    e.replications,
+		Hiccups:         e.hiccups,
+		Coalescings:     e.coalescings,
+		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
+		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
+		UniqueResidents: e.tech.uniqueResidents(),
+	}
+	for _, l := range e.admitted {
+		res.Latency.Add(l)
+	}
+	return res
+}

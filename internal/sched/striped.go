@@ -4,20 +4,8 @@ import (
 	"fmt"
 
 	"github.com/mmsim/staggered/internal/core"
-	"github.com/mmsim/staggered/internal/policy"
-	"github.com/mmsim/staggered/internal/rng"
-	"github.com/mmsim/staggered/internal/sim"
-	"github.com/mmsim/staggered/internal/tertiary"
 	"github.com/mmsim/staggered/internal/vdisk"
-	"github.com/mmsim/staggered/internal/workload"
 )
-
-// request is one station's pending object reference.
-type request struct {
-	station int
-	object  int
-	arrived int // interval
-}
 
 // stream is one fragment stream of an active display: the global
 // virtual disk serving it and its alignment delay T_i relative to the
@@ -49,12 +37,14 @@ type streamRef struct {
 	i int
 }
 
-// Striped simulates a staggered-striped disk farm (simple striping is
-// the special case K = M).  Occupancy is tracked in virtual-disk
-// space: physical disk f at interval t corresponds to virtual disk
-// (f − K·t) mod D, and a display's streams own fixed virtual disks
-// for the duration of their reads, so bookkeeping is O(1) per stream
-// per transition rather than per interval.
+// stripedTech is the striping family's Technique: simple striping
+// (k = M) and staggered striping (any k) share it, differing only in
+// the configured stride and in whether Algorithms 1 and 2 are
+// enabled.  Occupancy is tracked in virtual-disk space: physical disk
+// f at interval t corresponds to virtual disk (f − K·t) mod D, and a
+// display's streams own fixed virtual disks for the duration of their
+// reads, so bookkeeping is O(1) per stream per transition rather than
+// per interval.
 //
 // All per-interval work is event-driven: stream releases and display
 // completions live in interval-keyed buckets (like wakeups), the
@@ -63,26 +53,17 @@ type streamRef struct {
 // coalesce are visited by Algorithm 2.  An interval in which nothing
 // happens costs O(1), independent of D, the number of active
 // displays, and the queue length.
-type Striped struct {
+type stripedTech struct {
+	eng    *Engine
 	cfg    Config
 	layout core.Layout
 	store  *core.Store
-	lfu    *policy.LFU
-	tman   *tertiary.Manager
-	gen    *workload.Generator
-	stn    *workload.Stations
-	think  []*rng.Stream // per-station think-time streams
 
 	vbusy []int // virtual disk -> owner display id, matOwner, or freeSlot
 	busy  int   // count of non-free virtual disks, maintained incrementally
 
 	nextID   int
 	byObject []int // object -> active display count
-
-	queue     []request
-	pinned    []int               // object -> queued request count
-	wakeups   *sim.TickWheel[int] // interval -> stations whose think time ends
-	wakeupBuf []int               // reused Due drain buffer
 
 	ready []bool // object resident and fully materialized
 
@@ -100,31 +81,17 @@ type Striped struct {
 	pool        []*display    // recycled contiguous displays
 
 	// Reusable scratch buffers (hot path, zero steady-state allocs).
-	queueScratch []request
-	vidScratch   []int
-	tsScratch    []int
-	zeroTs       []int
-	freeScratch  []int
-	candScratch  []int
-	reissueBuf   []int
+	vidScratch  []int
+	tsScratch   []int
+	zeroTs      []int
+	freeScratch []int
+	candScratch []int
 
 	// Tertiary state.
 	matObject    int // object being staged, -1 when idle
 	matStarted   bool
 	matRemaining int
 	matVdisks    []int
-
-	now    int
-	tracer Tracer
-
-	// Counters (window handling in Run).
-	completed    int
-	materialized int
-	coalescings  int
-	hiccups      int
-	admitted     []float64 // admission latencies in seconds
-	busyArea     float64   // disk-busy integral in virtual-disk·intervals
-	tertBusy     int       // busy intervals
 }
 
 const (
@@ -132,22 +99,31 @@ const (
 	matOwner = -2
 )
 
+// Striped is the striping-family engine (simple striping is the
+// special case K = M, staggered striping any other stride).  It is a
+// thin wrapper over the generic Engine bound to the striped
+// technique, kept as a named type for compatibility.
+type Striped struct{ *Engine }
+
 // NewStriped builds a striped engine from the configuration.
 func NewStriped(cfg Config) (*Striped, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	layout, err := core.NewLayout(cfg.D, cfg.K)
+	e, err := NewEngine(cfg, &stripedTech{})
 	if err != nil {
 		return nil, err
+	}
+	return &Striped{e}, nil
+}
+
+// bind allocates the striped technique's state and preloads the farm.
+func (t *stripedTech) bind(e *Engine) error {
+	cfg := e.cfg
+	layout, err := core.NewLayout(cfg.D, cfg.K)
+	if err != nil {
+		return err
 	}
 	st, err := core.NewStore(layout, cfg.CapacityFragments)
 	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
-	if err != nil {
-		return nil, err
+		return err
 	}
 	maxDegree := cfg.M
 	for id := 0; id < cfg.Objects; id++ {
@@ -163,36 +139,22 @@ func NewStriped(cfg Config) (*Striped, error) {
 		maxStartup = 2 * maxDegree
 	}
 	horizon := cfg.Subobjects + maxStartup + 2
-	e := &Striped{
-		cfg:         cfg,
-		layout:      layout,
-		store:       st,
-		lfu:         policy.NewLFU(),
-		tman:        tertiary.NewManager(),
-		gen:         gen,
-		stn:         workload.NewStations(gen),
-		vbusy:       make([]int, cfg.D),
-		byObject:    make([]int, cfg.Objects),
-		pinned:      make([]int, cfg.Objects),
-		wakeups:     sim.NewTickWheel[int](),
-		ready:       make([]bool, cfg.Objects),
-		horizon:     horizon,
-		releases:    make([][]streamRef, horizon),
-		completions: make([][]*display, horizon),
-		vidScratch:  make([]int, maxDegree),
-		tsScratch:   make([]int, maxDegree),
-		zeroTs:      make([]int, maxDegree),
-		matObject:   -1,
-	}
-	if cfg.ThinkMeanSeconds > 0 {
-		src := rng.NewSource(cfg.Seed)
-		e.think = make([]*rng.Stream, cfg.Stations)
-		for i := range e.think {
-			e.think[i] = src.StreamN("think", i)
-		}
-	}
-	for i := range e.vbusy {
-		e.vbusy[i] = freeSlot
+	t.eng = e
+	t.cfg = cfg
+	t.layout = layout
+	t.store = st
+	t.vbusy = make([]int, cfg.D)
+	t.byObject = make([]int, cfg.Objects)
+	t.ready = make([]bool, cfg.Objects)
+	t.horizon = horizon
+	t.releases = make([][]streamRef, horizon)
+	t.completions = make([][]*display, horizon)
+	t.vidScratch = make([]int, maxDegree)
+	t.tsScratch = make([]int, maxDegree)
+	t.zeroTs = make([]int, maxDegree)
+	t.matObject = -1
+	for i := range t.vbusy {
+		t.vbusy[i] = freeSlot
 	}
 	preload := cfg.PreloadTop
 	if preload == 0 {
@@ -203,70 +165,65 @@ func NewStriped(cfg Config) (*Striped, error) {
 	// the last fragment, so preloading stops at the first object that
 	// no longer fits — exactly what on-demand materialization would
 	// have produced.
-	for _, id := range gen.TopObjects(preload) {
-		if _, err := e.store.Place(id, cfg.Degree(id), cfg.Subobjects); err != nil {
+	for _, id := range e.gen.TopObjects(preload) {
+		if _, err := t.store.Place(id, cfg.Degree(id), cfg.Subobjects); err != nil {
 			break
 		}
-		e.ready[id] = true
+		t.ready[id] = true
 	}
-	return e, nil
+	return nil
 }
+
+func (t *stripedTech) name() string { return StripingTechniqueName(t.cfg) }
+
+func (t *stripedTech) onEnqueue(request) {}
+
+// interval runs one interval of striping policy: claim endings,
+// tertiary progress, admissions, then Algorithm 2 coalescing when
+// enabled; it returns the busy-disk count for the utilization
+// integral.
+func (t *stripedTech) interval() int {
+	t.finishDue()
+	t.stepTertiary()
+	t.admit()
+	if t.cfg.Coalescing {
+		t.coalesce()
+	}
+	return t.busy
+}
+
+func (t *stripedTech) uniqueResidents() int { return t.store.ResidentCount() }
 
 // vdiskOf maps physical disk f at the current interval to its global
 // virtual disk.
-func (e *Striped) vdiskOf(f int) int {
-	return vdisk.VirtualAt(f, e.now, e.cfg.K, e.cfg.D)
+func (t *stripedTech) vdiskOf(f int) int {
+	return vdisk.VirtualAt(f, t.eng.now, t.cfg.K, t.cfg.D)
 }
 
 // setVBusy transfers ownership of virtual disk v and maintains the
 // farm-busy counter — the incremental replacement for the per-interval
 // O(D) occupancy scan.
-func (e *Striped) setVBusy(v, owner int) {
-	if (e.vbusy[v] == freeSlot) != (owner == freeSlot) {
+func (t *stripedTech) setVBusy(v, owner int) {
+	if (t.vbusy[v] == freeSlot) != (owner == freeSlot) {
 		if owner == freeSlot {
-			e.busy--
+			t.busy--
 		} else {
-			e.busy++
+			t.busy++
 		}
 	}
-	e.vbusy[v] = owner
+	t.vbusy[v] = owner
 }
 
-// enqueue issues a new reference for station s.
-func (e *Striped) enqueue(s int) {
-	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
-	req := request{station: r.Station, object: r.Object, arrived: e.now}
-	e.queue = append(e.queue, req)
-	e.pinned[req.object]++
-	e.lfu.Touch(req.object)
-	e.emit(EvRequest, req.object, req.station, "")
-}
-
-// step advances the simulation by one interval.
-func (e *Striped) step() {
-	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
-	for _, st := range e.wakeupBuf {
-		e.enqueue(st)
-	}
-	e.finishDisplays()
-	e.stepTertiary()
-	e.admit()
-	if e.cfg.Coalescing {
-		e.coalesce()
-	}
-	e.busyArea += float64(e.busy)
-	e.now++
-}
-
-// finishDisplays releases stream disks whose reads end this interval
-// and completes displays whose delivery has ended; completed stations
+// finishDue releases stream disks whose reads end this interval and
+// completes displays whose delivery has ended; completed stations
 // immediately reissue (zero think time).  Both are bucket lookups:
 // only the streams and displays that actually fire now are touched.
-func (e *Striped) finishDisplays() {
-	n := e.cfg.Subobjects
-	slot := e.now % e.horizon
-	if refs := e.releases[slot]; len(refs) > 0 {
-		e.releases[slot] = refs[:0]
+func (t *stripedTech) finishDue() {
+	e := t.eng
+	n := t.cfg.Subobjects
+	slot := e.now % t.horizon
+	if refs := t.releases[slot]; len(refs) > 0 {
+		t.releases[slot] = refs[:0]
 		// Coalescing reschedules releases out of admission order;
 		// restore (display, stream) order so hiccup accounting matches
 		// a full in-order scan.  Insertion sort: buckets are tiny and
@@ -283,28 +240,28 @@ func (e *Striped) finishDisplays() {
 			if s.vdisk < 0 || e.now != d.tau0+s.t+n {
 				continue // stale: already released or rescheduled
 			}
-			if e.vbusy[s.vdisk] != d.id {
+			if t.vbusy[s.vdisk] != d.id {
 				e.hiccups++
 			}
-			e.setVBusy(s.vdisk, freeSlot)
+			t.setVBusy(s.vdisk, freeSlot)
 			s.vdisk = -1 // released
 		}
 	}
-	if ds := e.completions[slot]; len(ds) > 0 {
-		e.completions[slot] = ds[:0]
+	if ds := t.completions[slot]; len(ds) > 0 {
+		t.completions[slot] = ds[:0]
 		reissue := e.reissueBuf[:0]
 		for _, d := range ds {
 			d.done = true
 			e.completed++
 			e.emit(EvComplete, d.object, d.station, "")
-			e.byObject[d.object]--
+			t.byObject[d.object]--
 			e.stn.Complete(d.station)
 			reissue = append(reissue, d.station)
 			// Contiguous displays are unreachable once completed (all
 			// release refs fired earlier this interval or before, and
 			// they never join the coalescing list) — recycle them.
 			if d.tmax == 0 {
-				e.pool = append(e.pool, d)
+				t.pool = append(t.pool, d)
 			}
 		}
 		for _, s := range reissue {
@@ -314,88 +271,75 @@ func (e *Striped) finishDisplays() {
 	}
 }
 
-// reissue starts station s's next request, after its think time when
-// one is configured.
-func (e *Striped) reissue(s int) {
-	if e.cfg.ThinkMeanSeconds <= 0 {
-		e.enqueue(s)
-		return
-	}
-	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
-	delay := int(secs / e.cfg.IntervalSeconds())
-	if delay < 1 {
-		delay = 1
-	}
-	e.wakeups.Add(e.now+delay, s)
-}
-
 // stepTertiary advances the materialization pipeline.
-func (e *Striped) stepTertiary() {
-	if e.matObject >= 0 && e.matStarted {
+func (t *stripedTech) stepTertiary() {
+	e := t.eng
+	if t.matObject >= 0 && t.matStarted {
 		e.tertBusy++
-		e.matRemaining--
-		if e.matRemaining == 0 {
-			e.finishMaterialization()
+		t.matRemaining--
+		if t.matRemaining == 0 {
+			t.finishMaterialization()
 		}
 		return
 	}
-	if e.matObject < 0 {
+	if t.matObject < 0 {
 		id, ok := e.tman.StartNext()
 		if !ok {
 			return
 		}
-		e.matObject = id
+		t.matObject = id
 	}
 	// Stage the pending object: secure space, then disks.
-	obj := e.matObject
-	if !e.store.Resident(obj) {
-		if !e.makeRoom(obj) {
+	obj := t.matObject
+	if !t.store.Resident(obj) {
+		if !t.makeRoom(obj) {
 			return // retry next interval
 		}
-		if _, err := e.store.Place(obj, e.cfg.Degree(obj), e.cfg.Subobjects); err != nil {
+		if _, err := t.store.Place(obj, t.cfg.Degree(obj), t.cfg.Subobjects); err != nil {
 			return // still no contiguous start; retry
 		}
 	}
-	p, _ := e.store.Placement(obj)
-	w := e.cfg.Tertiary.DisksOccupied(e.cfg.BDisk)
-	if w > e.cfg.Degree(obj) {
-		w = e.cfg.Degree(obj)
+	p, _ := t.store.Placement(obj)
+	w := t.cfg.Tertiary.DisksOccupied(t.cfg.BDisk)
+	if w > t.cfg.Degree(obj) {
+		w = t.cfg.Degree(obj)
 	}
-	vids := e.vidScratch[:w]
+	vids := t.vidScratch[:w]
 	for j := 0; j < w; j++ {
-		v := e.vdiskOf((p.First + j) % e.cfg.D)
-		if e.vbusy[v] != freeSlot {
+		v := t.vdiskOf((p.First + j) % t.cfg.D)
+		if t.vbusy[v] != freeSlot {
 			return // write disks busy; retry next interval
 		}
 		vids[j] = v
 	}
 	for _, v := range vids {
-		e.setVBusy(v, matOwner)
+		t.setVBusy(v, matOwner)
 	}
-	e.matVdisks = append(e.matVdisks[:0], vids...)
-	e.matStarted = true
-	e.matRemaining = e.cfg.MaterializeIntervalsOf(obj)
+	t.matVdisks = append(t.matVdisks[:0], vids...)
+	t.matStarted = true
+	t.matRemaining = t.cfg.MaterializeIntervalsOf(obj)
 	if e.tracer != nil {
-		e.emit(EvMatStart, obj, -1, fmt.Sprintf("%d intervals", e.matRemaining+1))
+		e.emit(EvMatStart, obj, -1, fmt.Sprintf("%d intervals", t.matRemaining+1))
 	}
 	e.tertBusy++ // the starting interval counts as busy
-	e.matRemaining--
-	if e.matRemaining == 0 {
-		e.finishMaterialization()
+	t.matRemaining--
+	if t.matRemaining == 0 {
+		t.finishMaterialization()
 	}
 }
 
 // finishMaterialization publishes the staged object and frees the
 // write disks and the device.
-func (e *Striped) finishMaterialization() {
-	e.emit(EvMatEnd, e.matObject, -1, "")
-	e.ready[e.matObject] = true
-	for _, v := range e.matVdisks {
-		e.setVBusy(v, freeSlot)
+func (t *stripedTech) finishMaterialization() {
+	e := t.eng
+	e.emit(EvMatEnd, t.matObject, -1, "")
+	t.ready[t.matObject] = true
+	for _, v := range t.matVdisks {
+		t.setVBusy(v, freeSlot)
 	}
-	e.matVdisks = e.matVdisks[:0]
-	e.matObject = -1
-	e.matStarted = false
+	t.matVdisks = t.matVdisks[:0]
+	t.matObject = -1
+	t.matStarted = false
 	if _, err := e.tman.Finish(); err != nil {
 		e.hiccups++
 	}
@@ -407,19 +351,20 @@ func (e *Striped) finishMaterialization() {
 // The candidate set is built once per call and shrunk incrementally as
 // victims go — nothing that happens inside this loop changes any other
 // object's evictability.
-func (e *Striped) makeRoom(obj int) bool {
-	need := e.cfg.Degree(obj) * e.cfg.Subobjects
-	if e.store.FreeFragments() >= need {
+func (t *stripedTech) makeRoom(obj int) bool {
+	e := t.eng
+	need := t.cfg.Degree(obj) * t.cfg.Subobjects
+	if t.store.FreeFragments() >= need {
 		return true
 	}
-	candidates := e.candScratch[:0]
-	for _, id := range e.store.ResidentIDs() {
-		if e.evictable(id) {
+	candidates := t.candScratch[:0]
+	for _, id := range t.store.ResidentIDs() {
+		if t.evictable(id) {
 			candidates = append(candidates, id)
 		}
 	}
-	defer func() { e.candScratch = candidates[:0] }()
-	for e.store.FreeFragments() < need {
+	defer func() { t.candScratch = candidates[:0] }()
+	for t.store.FreeFragments() < need {
 		victim, ok := e.lfu.Victim(candidates)
 		if !ok {
 			return false
@@ -430,9 +375,9 @@ func (e *Striped) makeRoom(obj int) bool {
 				break
 			}
 		}
-		e.ready[victim] = false
+		t.ready[victim] = false
 		e.emit(EvEvict, victim, -1, "")
-		if err := e.store.Evict(victim); err != nil {
+		if err := t.store.Evict(victim); err != nil {
 			e.hiccups++
 			return false
 		}
@@ -443,8 +388,8 @@ func (e *Striped) makeRoom(obj int) bool {
 // evictable reports whether object id may be replaced: resident,
 // fully materialized, not being displayed, and not referenced by a
 // queued request.
-func (e *Striped) evictable(id int) bool {
-	return e.ready[id] && e.byObject[id] == 0 && e.pinned[id] == 0 && id != e.matObject
+func (t *stripedTech) evictable(id int) bool {
+	return t.ready[id] && t.byObject[id] == 0 && t.eng.pinned[id] == 0 && id != t.matObject
 }
 
 // fragmentedAttemptsPerInterval bounds how many queued requests may
@@ -457,39 +402,40 @@ const fragmentedAttemptsPerInterval = 8
 // With FCFSStrict the scan stops at the first request that cannot
 // start (head-of-line blocking).  A request whose object needs more
 // disks than the whole farm has free is skipped without probing.
-func (e *Striped) admit() {
+func (t *stripedTech) admit() {
+	e := t.eng
 	if len(e.queue) == 0 {
 		return
 	}
 	kept := e.queueScratch[:0]
 	fragBudget := fragmentedAttemptsPerInterval
 	for qi, r := range e.queue {
-		if !e.ready[r.object] {
+		if !t.ready[r.object] {
 			e.tman.Request(r.object)
 			kept = append(kept, r)
-			if e.cfg.FCFSStrict {
+			if t.cfg.FCFSStrict {
 				kept = append(kept, e.queue[qi+1:]...)
 				break
 			}
 			continue
 		}
-		p, ok := e.store.Placement(r.object)
+		p, ok := t.store.Placement(r.object)
 		if !ok { // evicted between materialization and admission
-			e.ready[r.object] = false
+			t.ready[r.object] = false
 			e.tman.Request(r.object)
 			kept = append(kept, r)
-			if e.cfg.FCFSStrict {
+			if t.cfg.FCFSStrict {
 				kept = append(kept, e.queue[qi+1:]...)
 				break
 			}
 			continue
 		}
-		if e.cfg.D-e.busy >= e.cfg.Degree(r.object) && e.tryAdmit(r, p, &fragBudget) {
+		if t.cfg.D-t.busy >= t.cfg.Degree(r.object) && t.tryAdmit(r, p, &fragBudget) {
 			e.pinned[r.object]--
 			continue
 		}
 		kept = append(kept, r)
-		if e.cfg.FCFSStrict {
+		if t.cfg.FCFSStrict {
 			kept = append(kept, e.queue[qi+1:]...)
 			break
 		}
@@ -501,40 +447,40 @@ func (e *Striped) admit() {
 // tryAdmit attempts a contiguous admission, falling back to
 // time-fragmented admission (Algorithm 1) for the queue head when
 // enabled.
-func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
-	m := e.cfg.Degree(r.object)
+func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
+	m := t.cfg.Degree(r.object)
 	// Contiguous: the M disks of subobject 0 must be free right now.
-	vids := e.vidScratch[:m]
+	vids := t.vidScratch[:m]
 	okContig := true
 	for j := 0; j < m; j++ {
-		v := e.vdiskOf((p.First + j) % e.cfg.D)
-		if e.vbusy[v] != freeSlot {
+		v := t.vdiskOf((p.First + j) % t.cfg.D)
+		if t.vbusy[v] != freeSlot {
 			okContig = false
 			break
 		}
 		vids[j] = v
 	}
 	if okContig {
-		e.start(r, p, vids, e.zeroTs[:m], 0)
+		t.start(r, p, vids, t.zeroTs[:m], 0)
 		return true
 	}
-	if !e.cfg.Fragmented || *fragBudget <= 0 {
+	if !t.cfg.Fragmented || *fragBudget <= 0 {
 		return false
 	}
 	*fragBudget--
 	// Time-fragmented admission over all currently free disks.
-	free := e.freeScratch[:0]
-	for v, o := range e.vbusy {
+	free := t.freeScratch[:0]
+	for v, o := range t.vbusy {
 		if o == freeSlot {
-			free = append(free, vdisk.Physical(v, e.now, e.cfg.K, e.cfg.D))
+			free = append(free, vdisk.Physical(v, t.eng.now, t.cfg.K, t.cfg.D))
 		}
 	}
-	e.freeScratch = free[:0]
-	a, ok := vdisk.ChooseVirtualDisks(e.cfg.D, e.cfg.K, p.First, m, free)
+	t.freeScratch = free[:0]
+	a, ok := vdisk.ChooseVirtualDisks(t.cfg.D, t.cfg.K, p.First, m, free)
 	if !ok {
 		return false
 	}
-	maxStartup := e.cfg.MaxStartup
+	maxStartup := t.cfg.MaxStartup
 	if maxStartup == 0 {
 		// Each interval of startup delay costs one buffered fragment
 		// per early stream and stretches the disk reservation past the
@@ -546,24 +492,25 @@ func (e *Striped) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
 	if a.Tmax > maxStartup {
 		return false
 	}
-	gvids := e.vidScratch[:m]
-	ts := e.tsScratch[:m]
+	gvids := t.vidScratch[:m]
+	ts := t.tsScratch[:m]
 	for i, z := range a.Z {
-		gvids[i] = e.vdiskOf(z)
+		gvids[i] = t.vdiskOf(z)
 		ts[i] = a.T[i]
 	}
-	e.start(r, p, gvids, ts, a.Tmax)
+	t.start(r, p, gvids, ts, a.Tmax)
 	return true
 }
 
 // start activates a display on the given virtual disks and schedules
 // its future events: one release per stream and one completion.
-func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
-	n := e.cfg.Subobjects
+func (t *stripedTech) start(r request, p core.Placement, vids, ts []int, tmax int) {
+	e := t.eng
+	n := t.cfg.Subobjects
 	var d *display
-	if k := len(e.pool); k > 0 {
-		d = e.pool[k-1]
-		e.pool = e.pool[:k-1]
+	if k := len(t.pool); k > 0 {
+		d = t.pool[k-1]
+		t.pool = t.pool[:k-1]
 	} else {
 		d = new(display)
 	}
@@ -574,7 +521,7 @@ func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
 		streams = streams[:len(vids)]
 	}
 	*d = display{
-		id:      e.nextID,
+		id:      t.nextID,
 		station: r.station,
 		object:  r.object,
 		first:   p.First,
@@ -582,23 +529,23 @@ func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
 		tmax:    tmax,
 		streams: streams,
 	}
-	e.nextID++
+	t.nextID++
 	for i := range vids {
-		if e.vbusy[vids[i]] != freeSlot {
+		if t.vbusy[vids[i]] != freeSlot {
 			e.hiccups++
 		}
-		e.setVBusy(vids[i], d.id)
+		t.setVBusy(vids[i], d.id)
 		d.streams[i] = stream{vdisk: vids[i], t: ts[i]}
-		slot := (d.tau0 + ts[i] + n) % e.horizon
-		e.releases[slot] = append(e.releases[slot], streamRef{d: d, i: i})
+		slot := (d.tau0 + ts[i] + n) % t.horizon
+		t.releases[slot] = append(t.releases[slot], streamRef{d: d, i: i})
 	}
-	slot := (d.deliveryEnd(n) + 1) % e.horizon
-	e.completions[slot] = append(e.completions[slot], d)
+	slot := (d.deliveryEnd(n) + 1) % t.horizon
+	t.completions[slot] = append(t.completions[slot], d)
 	if tmax > 0 {
-		e.coalescing = append(e.coalescing, d)
+		t.coalescing = append(t.coalescing, d)
 	}
-	e.byObject[r.object]++
-	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
+	t.byObject[r.object]++
+	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
 	if e.tracer != nil {
 		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
 	}
@@ -610,13 +557,14 @@ func (e *Striped) start(r request, p core.Placement, vids, ts []int, tmax int) {
 // free.  Only displays that still have such a stream are visited; the
 // list drops a display once every stream has moved, released, or can
 // never move (its ideal disk is the one it already holds).
-func (e *Striped) coalesce() {
-	if len(e.coalescing) == 0 {
+func (t *stripedTech) coalesce() {
+	if len(t.coalescing) == 0 {
 		return
 	}
-	n := e.cfg.Subobjects
-	kept := e.coalescing[:0]
-	for _, d := range e.coalescing {
+	e := t.eng
+	n := t.cfg.Subobjects
+	kept := t.coalescing[:0]
+	for _, d := range t.coalescing {
 		if d.done {
 			continue
 		}
@@ -628,20 +576,20 @@ func (e *Striped) coalesce() {
 			}
 			// The virtual disk a contiguous admission at τ0+Tmax
 			// would have used for fragment i.
-			ideal := vdisk.VirtualAt((d.first+i)%e.cfg.D, d.tau0+d.tmax, e.cfg.K, e.cfg.D)
+			ideal := vdisk.VirtualAt((d.first+i)%t.cfg.D, d.tau0+d.tmax, t.cfg.K, t.cfg.D)
 			if ideal == s.vdisk {
 				continue // already on it; will release on its own clock
 			}
-			if e.vbusy[ideal] != freeSlot {
+			if t.vbusy[ideal] != freeSlot {
 				pending = true
 				continue
 			}
-			e.setVBusy(s.vdisk, freeSlot)
-			e.setVBusy(ideal, d.id)
+			t.setVBusy(s.vdisk, freeSlot)
+			t.setVBusy(ideal, d.id)
 			s.vdisk = ideal
 			s.t = d.tmax
-			slot := (d.tau0 + d.tmax + n) % e.horizon
-			e.releases[slot] = append(e.releases[slot], streamRef{d: d, i: i})
+			slot := (d.tau0 + d.tmax + n) % t.horizon
+			t.releases[slot] = append(t.releases[slot], streamRef{d: d, i: i})
 			e.coalescings++
 			if e.tracer != nil {
 				e.emit(EvCoalesce, d.object, d.station, fmt.Sprintf("fragment %d", i))
@@ -651,53 +599,5 @@ func (e *Striped) coalesce() {
 			kept = append(kept, d)
 		}
 	}
-	e.coalescing = kept
-}
-
-// Run executes warm-up and measurement and returns the statistics.
-func (e *Striped) Run() Result {
-	if e.now != 0 {
-		panic("sched: Run called twice")
-	}
-	for s := 0; s < e.cfg.Stations; s++ {
-		e.enqueue(s)
-	}
-	for e.now < e.cfg.WarmupIntervals {
-		e.step()
-	}
-	// Reset window counters.
-	e.completed, e.materialized, e.coalescings = 0, 0, 0
-	e.admitted = e.admitted[:0]
-	e.busyArea, e.tertBusy = 0, 0
-
-	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
-	for e.now < end {
-		e.step()
-	}
-
-	res := Result{
-		Technique:       e.techniqueName(),
-		Stations:        e.cfg.Stations,
-		DistMean:        e.cfg.DistMean,
-		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
-		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
-		Displays:        e.completed,
-		Materializa:     e.materialized,
-		Hiccups:         e.hiccups,
-		Coalescings:     e.coalescings,
-		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
-		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
-		UniqueResidents: e.store.ResidentCount(),
-	}
-	for _, l := range e.admitted {
-		res.Latency.Add(l)
-	}
-	return res
-}
-
-func (e *Striped) techniqueName() string {
-	if e.cfg.K == e.cfg.M {
-		return "simple striping"
-	}
-	return fmt.Sprintf("staggered striping (k=%d)", e.cfg.K)
+	t.coalescing = kept
 }

@@ -64,12 +64,12 @@ func (e Event) String() string {
 // Tracer receives scheduler events as they happen.
 type Tracer func(Event)
 
-// SetTracer installs a tracer on the striped engine.  It must be
-// called before Run; a nil tracer disables tracing.
-func (e *Striped) SetTracer(t Tracer) { e.tracer = t }
+// SetTracer installs a tracer on the engine.  It must be called
+// before Run; a nil tracer disables tracing.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // emit sends an event to the tracer when one is installed.
-func (e *Striped) emit(kind EventKind, object, station int, detail string) {
+func (e *Engine) emit(kind EventKind, object, station int, detail string) {
 	if e.tracer == nil {
 		return
 	}

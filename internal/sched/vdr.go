@@ -7,10 +7,7 @@ import (
 
 	"github.com/mmsim/staggered/internal/core"
 	"github.com/mmsim/staggered/internal/policy"
-	"github.com/mmsim/staggered/internal/rng"
 	"github.com/mmsim/staggered/internal/sim"
-	"github.com/mmsim/staggered/internal/tertiary"
-	"github.com/mmsim/staggered/internal/workload"
 )
 
 // clusterJob describes what a busy cluster is doing.
@@ -24,25 +21,21 @@ const (
 	jobMaterialize
 )
 
-// VDR simulates the virtual data replication baseline of [GS93]:
-// D/M physical clusters, each object declustered over the disks of a
-// single cluster, dynamic replication of hot objects (the MRT
-// substitute of package policy), and LFU replacement at cluster
+// vdrTech is the virtual data replication baseline of [GS93] as a
+// Technique: D/M physical clusters, each object declustered over the
+// disks of a single cluster, dynamic replication of hot objects (the
+// MRT substitute of package policy), and LFU replacement at cluster
 // granularity.  A cluster serves one display at a time.
 //
 // Per-interval work is event-driven: job completions live in
 // interval-keyed buckets, the busy-cluster count and per-object
 // copies-in-flight are maintained incrementally, so an interval costs
 // O(events that fire), not O(clusters + queue).
-type VDR struct {
+type vdrTech struct {
+	eng   *Engine
 	cfg   Config
 	store *core.VDRStore
-	lfu   *policy.LFU
 	repl  policy.Replication
-	tman  *tertiary.Manager
-	gen   *workload.Generator
-	stn   *workload.Stations
-	think []*rng.Stream // per-station think-time streams
 
 	clusters  int
 	job       []clusterJob
@@ -59,13 +52,8 @@ type VDR struct {
 	objScratch  []int // eviction-plan candidate scratch
 	dropScratch []int // eviction-plan drop scratch
 	dropBest    []int // best drop set found by victimCluster
-	reissueBuf  []int // stations to reissue after completions
 
-	queue     []request
-	waiters   []int               // object -> queued request count (also pins)
-	totalRefs int64               // references issued, for popularity shares
-	wakeups   *sim.TickWheel[int] // interval -> stations whose think time ends
-	wakeupBuf []int               // reused Due drain buffer
+	totalRefs int64 // references issued, for popularity shares
 
 	// Replication stagings wait in their own low-priority queue:
 	// misses (real users waiting for a cold object) always reach the
@@ -78,72 +66,56 @@ type VDR struct {
 	matStarted  bool
 	matCluster  int
 	matFromTman bool // current staging came from the miss queue
-
-	now int
-
-	completed    int
-	materialized int
-	replications int
-	hiccups      int
-	admitted     []float64
-	busyArea     float64
-	tertBusy     int
 }
+
+// VDR is the virtual-data-replication baseline engine, a thin wrapper
+// over the generic Engine bound to the VDR technique, kept as a named
+// type for compatibility.
+type VDR struct{ *Engine }
 
 // NewVDR builds the baseline engine from the configuration (the
 // stride field is ignored; every object is pinned to one cluster,
 // which is the k = D special case).
 func NewVDR(cfg Config) (*VDR, error) {
-	if err := cfg.Validate(); err != nil {
+	e, err := NewEngine(cfg, &vdrTech{})
+	if err != nil {
 		return nil, err
 	}
+	return &VDR{e}, nil
+}
+
+// bind allocates the VDR technique's state and warm-starts the farm.
+func (t *vdrTech) bind(e *Engine) error {
+	cfg := e.cfg
 	if cfg.D%cfg.M != 0 {
-		return nil, fmt.Errorf("sched: VDR needs D (%d) divisible by M (%d)", cfg.D, cfg.M)
+		return fmt.Errorf("sched: VDR needs D (%d) divisible by M (%d)", cfg.D, cfg.M)
 	}
 	store, err := core.NewVDRStore(cfg.D, cfg.M, cfg.CapacityFragments)
 	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
-	if err != nil {
-		return nil, err
+		return err
 	}
 	repl := policy.Replication{Theta: cfg.ReplicationTheta}
 	if cfg.ReplicationTheta == 0 {
 		repl = policy.DefaultReplication()
 	}
 	if err := repl.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	e := &VDR{
-		cfg:         cfg,
-		store:       store,
-		lfu:         policy.NewLFU(),
-		repl:        repl,
-		tman:        tertiary.NewManager(),
-		gen:         gen,
-		stn:         workload.NewStations(gen),
-		clusters:    cfg.D / cfg.M,
-		endings:     sim.NewTickWheel[int](),
-		copyTargets: make([]int, cfg.Objects),
-		waiters:     make([]int, cfg.Objects),
-		replQueued:  make([]bool, cfg.Objects),
-		wakeups:     sim.NewTickWheel[int](),
-		matObject:   -1,
-	}
-	if cfg.ThinkMeanSeconds > 0 {
-		src := rng.NewSource(cfg.Seed)
-		e.think = make([]*rng.Stream, cfg.Stations)
-		for i := range e.think {
-			e.think[i] = src.StreamN("think", i)
-		}
-	}
-	e.job = make([]clusterJob, e.clusters)
-	e.busyUntil = make([]int, e.clusters)
-	e.jobObject = make([]int, e.clusters)
-	e.station = make([]int, e.clusters)
-	for c := range e.jobObject {
-		e.jobObject[c] = -1
+	t.eng = e
+	t.cfg = cfg
+	t.store = store
+	t.repl = repl
+	t.clusters = cfg.D / cfg.M
+	t.endings = sim.NewTickWheel[int]()
+	t.copyTargets = make([]int, cfg.Objects)
+	t.replQueued = make([]bool, cfg.Objects)
+	t.matObject = -1
+	t.job = make([]clusterJob, t.clusters)
+	t.busyUntil = make([]int, t.clusters)
+	t.jobObject = make([]int, t.clusters)
+	t.station = make([]int, t.clusters)
+	for c := range t.jobObject {
+		t.jobObject[c] = -1
 	}
 	// Warm-start the farm at the replication policy's steady state:
 	// replicas proportional to popularity (building a replica set
@@ -168,7 +140,7 @@ func NewVDR(cfg Config) (*VDR, error) {
 	}
 	var cands []cand
 	for id := 0; id < preload && id < cfg.Objects; id++ {
-		p := gen.Popularity(id)
+		p := e.gen.Popularity(id)
 		want := repl.Target(p, concurrency)
 		for j := 1; j <= want; j++ {
 			cands = append(cands, cand{id: id, copy: j, value: p / float64(j)})
@@ -189,82 +161,77 @@ func NewVDR(cfg Config) (*VDR, error) {
 			continue
 		}
 		if err := store.PlaceReplica(cd.id, c, cfg.Subobjects); err != nil {
-			return nil, fmt.Errorf("sched: VDR preload failed: %w", err)
+			return fmt.Errorf("sched: VDR preload failed: %w", err)
 		}
 	}
-	return e, nil
+	return nil
 }
 
-// enqueue issues a new reference for station s.
-func (e *VDR) enqueue(s int) {
-	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
-	e.queue = append(e.queue, request{station: r.Station, object: r.Object, arrived: e.now})
-	e.waiters[r.Object]++
-	e.lfu.Touch(r.Object)
-	e.totalRefs++
+func (t *vdrTech) name() string { return VDRName }
+
+func (t *vdrTech) onEnqueue(request) { t.totalRefs++ }
+
+// interval runs one interval of VDR policy: cluster job endings,
+// tertiary progress, then the admission scan; it returns the busy
+// disk count (busy clusters × M) for the utilization integral.
+func (t *vdrTech) interval() int {
+	t.finishDue()
+	t.stepTertiary()
+	t.admit()
+	return t.busyClusters * t.cfg.M
 }
+
+func (t *vdrTech) uniqueResidents() int { return t.store.UniqueResident() }
 
 // setJob starts a job on cluster c until the given interval,
 // maintaining the busy count, the copy-in-flight counters, and the
 // completion bucket.
-func (e *VDR) setJob(c int, job clusterJob, object, until int) {
-	e.job[c] = job
-	e.jobObject[c] = object
-	e.busyUntil[c] = until
-	e.busyClusters++
-	e.endings.Add(until, c)
+func (t *vdrTech) setJob(c int, job clusterJob, object, until int) {
+	t.job[c] = job
+	t.jobObject[c] = object
+	t.busyUntil[c] = until
+	t.busyClusters++
+	t.endings.Add(until, c)
 	if job == jobCopyTarget {
-		e.copyTargets[object]++
-		e.totalCopies++
+		t.copyTargets[object]++
+		t.totalCopies++
 	}
 }
 
 // clearJob returns cluster c to idle.
-func (e *VDR) clearJob(c int) {
-	if e.job[c] == jobCopyTarget {
-		e.copyTargets[e.jobObject[c]]--
-		e.totalCopies--
+func (t *vdrTech) clearJob(c int) {
+	if t.job[c] == jobCopyTarget {
+		t.copyTargets[t.jobObject[c]]--
+		t.totalCopies--
 	}
-	e.job[c] = jobIdle
-	e.jobObject[c] = -1
-	e.busyClusters--
+	t.job[c] = jobIdle
+	t.jobObject[c] = -1
+	t.busyClusters--
 }
 
-// step advances one interval.
-func (e *VDR) step() {
-	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
-	for _, st := range e.wakeupBuf {
-		e.enqueue(st)
-	}
-	e.finishClusters()
-	e.stepTertiary()
-	e.admit()
-	e.busyArea += float64(e.busyClusters * e.cfg.M)
-	e.now++
-}
-
-// finishClusters completes the cluster jobs ending now — a bucket
-// lookup, not a scan of all clusters.  Clusters are processed in
-// ascending index order, matching a full scan.
-func (e *VDR) finishClusters() {
-	e.endBuf = e.endings.Due(e.now, e.endBuf[:0])
-	ending := e.endBuf
+// finishDue completes the cluster jobs ending now — a bucket lookup,
+// not a scan of all clusters.  Clusters are processed in ascending
+// index order, matching a full scan.
+func (t *vdrTech) finishDue() {
+	e := t.eng
+	t.endBuf = t.endings.Due(e.now, t.endBuf[:0])
+	ending := t.endBuf
 	if len(ending) == 0 {
 		return
 	}
 	sort.Ints(ending)
 	reissue := e.reissueBuf[:0]
 	for _, c := range ending {
-		if e.job[c] == jobIdle || e.now < e.busyUntil[c] {
+		if t.job[c] == jobIdle || e.now < t.busyUntil[c] {
 			continue
 		}
-		switch e.job[c] {
+		switch t.job[c] {
 		case jobDisplay:
 			e.completed++
-			e.stn.Complete(e.station[c])
-			reissue = append(reissue, e.station[c])
+			e.stn.Complete(t.station[c])
+			reissue = append(reissue, t.station[c])
 		case jobCopyTarget:
-			if err := e.store.PlaceReplica(e.jobObject[c], c, e.cfg.Subobjects); err != nil {
+			if err := t.store.PlaceReplica(t.jobObject[c], c, t.cfg.Subobjects); err != nil {
 				e.hiccups++
 			} else {
 				e.replications++
@@ -272,22 +239,22 @@ func (e *VDR) finishClusters() {
 		case jobCopySource:
 			// Released together with the target; nothing to record.
 		case jobMaterialize:
-			wasResident := e.store.Resident(e.matObject)
-			if err := e.store.PlaceReplica(e.matObject, c, e.cfg.Subobjects); err != nil {
+			wasResident := t.store.Resident(t.matObject)
+			if err := t.store.PlaceReplica(t.matObject, c, t.cfg.Subobjects); err != nil {
 				e.hiccups++
 			} else if wasResident {
 				e.replications++
 			}
-			if e.matFromTman {
+			if t.matFromTman {
 				if _, err := e.tman.Finish(); err != nil {
 					e.hiccups++
 				}
 			}
 			e.materialized++
-			e.matObject = -1
-			e.matStarted = false
+			t.matObject = -1
+			t.matStarted = false
 		}
-		e.clearJob(c)
+		t.clearJob(c)
 	}
 	for _, s := range reissue {
 		e.reissue(s)
@@ -295,72 +262,58 @@ func (e *VDR) finishClusters() {
 	e.reissueBuf = reissue[:0]
 }
 
-// reissue starts station s's next request, after its think time when
-// one is configured.
-func (e *VDR) reissue(s int) {
-	if e.cfg.ThinkMeanSeconds <= 0 {
-		e.enqueue(s)
-		return
-	}
-	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
-	delay := int(secs / e.cfg.IntervalSeconds())
-	if delay < 1 {
-		delay = 1
-	}
-	e.wakeups.Add(e.now+delay, s)
-}
-
 // stepTertiary stages non-resident objects through the tertiary
 // device into an evicted cluster.
-func (e *VDR) stepTertiary() {
-	if e.matStarted {
+func (t *vdrTech) stepTertiary() {
+	e := t.eng
+	if t.matStarted {
 		e.tertBusy++
-		return // completion handled by finishClusters
+		return // completion handled by finishDue
 	}
-	if e.matObject < 0 {
+	if t.matObject < 0 {
 		if id, ok := e.tman.StartNext(); ok {
-			e.matObject = id
-			e.matFromTman = true
-		} else if len(e.replQueue) > 0 {
-			id := e.replQueue[0]
-			e.replQueue = e.replQueue[1:]
-			e.replQueued[id] = false
-			e.matObject = id
-			e.matFromTman = false
+			t.matObject = id
+			t.matFromTman = true
+		} else if len(t.replQueue) > 0 {
+			id := t.replQueue[0]
+			t.replQueue = t.replQueue[1:]
+			t.replQueued[id] = false
+			t.matObject = id
+			t.matFromTman = false
 		} else {
 			return
 		}
 	}
-	c, drop, _, ok := e.victimCluster(e.matObject)
+	c, drop, _, ok := t.victimCluster(t.matObject)
 	if !ok {
 		return // no evictable idle cluster; retry next interval
 	}
-	if !e.executePlan(c, drop) {
+	if !t.executePlan(c, drop) {
 		return
 	}
-	e.setJob(c, jobMaterialize, e.matObject, e.now+e.cfg.MaterializeIntervals())
-	e.matStarted = true
-	e.matCluster = c
+	t.setJob(c, jobMaterialize, t.matObject, e.now+t.cfg.MaterializeIntervals())
+	t.matStarted = true
+	t.matCluster = c
 	e.tertBusy++
 }
 
 // replicaEvictable reports whether the replica of id on an idle
 // cluster may be dropped: it is not the last copy of an object that
 // queued displays are waiting for.
-func (e *VDR) replicaEvictable(id int) bool {
-	return len(e.store.Replicas(id)) > 1 || e.waiters[id] == 0
+func (t *vdrTech) replicaEvictable(id int) bool {
+	return len(t.store.Replicas(id)) > 1 || t.eng.pinned[id] == 0
 }
 
 // marginalValue estimates the cost of losing one replica of id: its
 // access frequency divided by its replica count (including copies in
 // flight).  Losing one of many replicas of a hot object costs less
 // than losing the only replica of a lukewarm one.
-func (e *VDR) marginalValue(id int) float64 {
-	reps := len(e.store.Replicas(id)) + e.copiesInFlight(id)
+func (t *vdrTech) marginalValue(id int) float64 {
+	reps := len(t.store.Replicas(id)) + t.copiesInFlight(id)
 	if reps < 1 {
 		reps = 1
 	}
-	return float64(e.lfu.Count(id)) / float64(reps)
+	return float64(t.eng.lfu.Count(id)) / float64(reps)
 }
 
 // evictionPlan computes the cheapest set of replicas to drop from
@@ -368,14 +321,14 @@ func (e *VDR) marginalValue(id int) float64 {
 // in increasing marginal-value order, stopping as soon as enough
 // space exists.  loss is the largest marginal value dropped.  The
 // drop set is appended to buf (sliced to zero length first).
-func (e *VDR) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss float64, ok bool) {
-	if e.job[c] != jobIdle {
+func (t *vdrTech) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss float64, ok bool) {
+	if t.job[c] != jobIdle {
 		return nil, 0, false
 	}
-	if forObject >= 0 && e.store.HasReplicaOn(forObject, c) {
+	if forObject >= 0 && t.store.HasReplicaOn(forObject, c) {
 		return nil, 0, false // a replica of the object must not overwrite itself
 	}
-	free := e.store.ClusterFree(c)
+	free := t.store.ClusterFree(c)
 	if free >= need {
 		return nil, 0, true
 	}
@@ -383,10 +336,10 @@ func (e *VDR) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss 
 	// marginal-value sort below cannot disturb the store's index.
 	// The comparator is a strict total order (ids are unique), so any
 	// sorting algorithm yields the same permutation.
-	objs := append(e.objScratch[:0], e.store.ObjectsOn(c)...)
-	e.objScratch = objs[:0]
+	objs := append(t.objScratch[:0], t.store.ObjectsOn(c)...)
+	t.objScratch = objs[:0]
 	slices.SortFunc(objs, func(a, b int) int {
-		va, vb := e.marginalValue(a), e.marginalValue(b)
+		va, vb := t.marginalValue(a), t.marginalValue(b)
 		switch {
 		case va < vb:
 			return -1
@@ -402,12 +355,12 @@ func (e *VDR) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss 
 	})
 	drop = buf[:0]
 	for _, id := range objs {
-		if !e.replicaEvictable(id) {
+		if !t.replicaEvictable(id) {
 			continue
 		}
 		drop = append(drop, id)
-		free += e.cfg.Subobjects
-		if v := e.marginalValue(id); v > loss {
+		free += t.cfg.Subobjects
+		if v := t.marginalValue(id); v > loss {
 			loss = v
 		}
 		if free >= need {
@@ -420,14 +373,14 @@ func (e *VDR) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss 
 // victimCluster picks the cheapest cluster that can hold a new
 // replica of size Subobjects, returning its eviction plan and loss.
 // The returned drop slice is valid until the next victimCluster call.
-func (e *VDR) victimCluster(forObject int) (cluster int, drop []int, loss float64, ok bool) {
+func (t *vdrTech) victimCluster(forObject int) (cluster int, drop []int, loss float64, ok bool) {
 	best := -1
 	var bestDrop []int
 	bestLoss := 0.0
-	cur := e.dropScratch
-	spare := e.dropBest
-	for c := 0; c < e.clusters; c++ {
-		d, l, planOK := e.evictionPlan(c, e.cfg.Subobjects, forObject, cur)
+	cur := t.dropScratch
+	spare := t.dropBest
+	for c := 0; c < t.clusters; c++ {
+		d, l, planOK := t.evictionPlan(c, t.cfg.Subobjects, forObject, cur)
 		if !planOK {
 			continue
 		}
@@ -441,7 +394,7 @@ func (e *VDR) victimCluster(forObject int) (cluster int, drop []int, loss float6
 			bestDrop = d
 		}
 	}
-	e.dropScratch, e.dropBest = cur, spare
+	t.dropScratch, t.dropBest = cur, spare
 	if best < 0 {
 		return 0, nil, 0, false
 	}
@@ -449,10 +402,10 @@ func (e *VDR) victimCluster(forObject int) (cluster int, drop []int, loss float6
 }
 
 // executePlan evicts the planned replicas from cluster c.
-func (e *VDR) executePlan(c int, drop []int) bool {
+func (t *vdrTech) executePlan(c int, drop []int) bool {
 	for _, id := range drop {
-		if err := e.store.EvictReplica(id, c, e.cfg.Subobjects); err != nil {
-			e.hiccups++
+		if err := t.store.EvictReplica(id, c, t.cfg.Subobjects); err != nil {
+			t.eng.hiccups++
 			return false
 		}
 	}
@@ -463,11 +416,12 @@ func (e *VDR) executePlan(c int, drop []int) bool {
 // objects start on an idle replica cluster; hot contended objects
 // trigger replication; non-resident objects go to the tertiary
 // manager.
-func (e *VDR) admit() {
+func (t *vdrTech) admit() {
+	e := t.eng
 	kept := e.queue[:0]
 	for _, r := range e.queue {
-		if !e.store.Resident(r.object) {
-			if e.matObject != r.object {
+		if !t.store.Resident(r.object) {
+			if t.matObject != r.object {
 				e.tman.Request(r.object)
 			}
 			kept = append(kept, r)
@@ -477,12 +431,12 @@ func (e *VDR) admit() {
 		// object: otherwise a permanently-busy sole replica could
 		// never be copied (the idle interval would always be consumed
 		// by the next waiting display).
-		if !e.tman.Pending(r.object) && e.maybeReplicate(r.object) {
+		if !e.tman.Pending(r.object) && t.maybeReplicate(r.object) {
 			kept = append(kept, r)
 			continue
 		}
-		if c, ok := e.idleReplica(r.object); ok {
-			e.startDisplay(r, c)
+		if c, ok := t.idleReplica(r.object); ok {
+			t.startDisplay(r, c)
 			continue
 		}
 		kept = append(kept, r)
@@ -492,9 +446,9 @@ func (e *VDR) admit() {
 
 // idleReplica returns the lowest-indexed idle cluster holding a
 // replica of id (the store keeps replica lists sorted).
-func (e *VDR) idleReplica(id int) (int, bool) {
-	for _, c := range e.store.Replicas(id) {
-		if e.job[c] == jobIdle {
+func (t *vdrTech) idleReplica(id int) (int, bool) {
+	for _, c := range t.store.Replicas(id) {
+		if t.job[c] == jobIdle {
 			return c, true
 		}
 	}
@@ -505,20 +459,21 @@ func (e *VDR) idleReplica(id int) (int, bool) {
 // created, by disk-to-disk copy or by a pending/in-flight tertiary
 // staging of an already-resident object.  Disk-to-disk copies are
 // counted incrementally (copyTargets), not by scanning clusters.
-func (e *VDR) copiesInFlight(id int) int {
-	n := e.copyTargets[id]
-	if e.store.Resident(id) && (e.tman.Pending(id) || e.replQueued[id] || e.matObject == id) {
+func (t *vdrTech) copiesInFlight(id int) int {
+	n := t.copyTargets[id]
+	if t.store.Resident(id) && (t.eng.tman.Pending(id) || t.replQueued[id] || t.matObject == id) {
 		n++
 	}
 	return n
 }
 
 // startDisplay occupies cluster c for one display of r.object.
-func (e *VDR) startDisplay(r request, c int) {
-	e.setJob(c, jobDisplay, r.object, e.now+e.cfg.Subobjects)
-	e.station[c] = r.station
-	e.waiters[r.object]--
-	e.admitted = append(e.admitted, float64(e.now-r.arrived)*e.cfg.IntervalSeconds())
+func (t *vdrTech) startDisplay(r request, c int) {
+	e := t.eng
+	t.setJob(c, jobDisplay, r.object, e.now+t.cfg.Subobjects)
+	t.station[c] = r.station
+	e.pinned[r.object]--
+	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
 }
 
 // maybeReplicate creates an additional replica of a contended object
@@ -530,32 +485,33 @@ func (e *VDR) startDisplay(r request, c int) {
 // cluster at display bandwidth (a charitable ablation).  It reports
 // whether the admission scan should keep the request queued because
 // an exclusive disk-to-disk copy was just started.
-func (e *VDR) maybeReplicate(obj int) bool {
-	replicas := len(e.store.Replicas(obj)) + e.copiesInFlight(obj)
+func (t *vdrTech) maybeReplicate(obj int) bool {
+	e := t.eng
+	replicas := len(t.store.Replicas(obj)) + t.copiesInFlight(obj)
 	share := 0.0
-	if e.totalRefs > 0 {
-		share = float64(e.lfu.Count(obj)) / float64(e.totalRefs)
+	if t.totalRefs > 0 {
+		share = float64(e.lfu.Count(obj)) / float64(t.totalRefs)
 	}
-	target := e.repl.Target(share, e.cfg.Stations)
-	if !e.repl.ShouldReplicate(e.waiters[obj], replicas, target) {
+	target := t.repl.Target(share, t.cfg.Stations)
+	if !t.repl.ShouldReplicate(e.pinned[obj], replicas, target) {
 		return false
 	}
-	if !e.cfg.DiskToDiskCopy {
+	if !t.cfg.DiskToDiskCopy {
 		// The replica is staged through the tertiary device behind
 		// all miss materializations; the victim is chosen when the
 		// staging starts.  The device itself is the brake on
 		// replication volume — exactly the [GS93] architecture's
 		// limit.
-		if !e.replQueued[obj] && !e.tman.Pending(obj) && e.matObject != obj {
-			e.replQueued[obj] = true
-			e.replQueue = append(e.replQueue, obj)
+		if !t.replQueued[obj] && !e.tman.Pending(obj) && t.matObject != obj {
+			t.replQueued[obj] = true
+			t.replQueue = append(t.replQueue, obj)
 		}
 		return false // replication is asynchronous; keep admitting
 	}
 	// Cost/benefit with hysteresis: the marginal value of the new
 	// replica must clearly exceed what the cheapest victim cluster
 	// gives up, or replication would churn replicas back and forth.
-	_, _, loss, ok := e.victimCluster(obj)
+	_, _, loss, ok := t.victimCluster(obj)
 	if !ok {
 		return false
 	}
@@ -563,75 +519,35 @@ func (e *VDR) maybeReplicate(obj int) bool {
 	if gain <= 1.2*loss {
 		return false
 	}
-	return e.diskToDiskCopy(obj, replicas)
+	return t.diskToDiskCopy(obj, replicas)
 }
 
 // diskToDiskCopy starts a cluster-to-cluster copy of obj, used only
 // by the DiskToDiskCopy ablation.
-func (e *VDR) diskToDiskCopy(obj, replicas int) bool {
+func (t *vdrTech) diskToDiskCopy(obj, replicas int) bool {
 	// Bound the copy traffic: a small fixed share of the farm may be
 	// copying at any instant, so replication can never starve
 	// displays (the storms an unbounded trigger produces under zero
 	// think time swamp the farm with 2-cluster copy jobs).
-	maxCopies := e.clusters / 16
+	maxCopies := t.clusters / 16
 	if maxCopies < 1 {
 		maxCopies = 1
 	}
-	if e.totalCopies >= maxCopies {
+	if t.totalCopies >= maxCopies {
 		return false
 	}
-	src, ok := e.idleReplica(obj)
+	src, ok := t.idleReplica(obj)
 	if !ok {
 		return false
 	}
-	dst, drop, _, ok := e.victimCluster(obj)
+	dst, drop, _, ok := t.victimCluster(obj)
 	if !ok || dst == src {
 		return false
 	}
-	if !e.executePlan(dst, drop) {
+	if !t.executePlan(dst, drop) {
 		return false
 	}
-	e.setJob(src, jobCopySource, obj, e.now+e.cfg.Subobjects)
-	e.setJob(dst, jobCopyTarget, obj, e.now+e.cfg.Subobjects)
+	t.setJob(src, jobCopySource, obj, t.eng.now+t.cfg.Subobjects)
+	t.setJob(dst, jobCopyTarget, obj, t.eng.now+t.cfg.Subobjects)
 	return true
-}
-
-// Run executes warm-up and measurement and returns the statistics.
-func (e *VDR) Run() Result {
-	if e.now != 0 {
-		panic("sched: Run called twice")
-	}
-	for s := 0; s < e.cfg.Stations; s++ {
-		e.enqueue(s)
-	}
-	for e.now < e.cfg.WarmupIntervals {
-		e.step()
-	}
-	e.completed, e.materialized, e.replications = 0, 0, 0
-	e.admitted = e.admitted[:0]
-	e.busyArea, e.tertBusy = 0, 0
-
-	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
-	for e.now < end {
-		e.step()
-	}
-
-	res := Result{
-		Technique:       "virtual data replication",
-		Stations:        e.cfg.Stations,
-		DistMean:        e.cfg.DistMean,
-		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
-		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
-		Displays:        e.completed,
-		Materializa:     e.materialized,
-		Replications:    e.replications,
-		Hiccups:         e.hiccups,
-		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
-		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
-		UniqueResidents: e.store.UniqueResident(),
-	}
-	for _, l := range e.admitted {
-		res.Latency.Add(l)
-	}
-	return res
 }

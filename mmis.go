@@ -1,6 +1,7 @@
 package mmis
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/mmsim/staggered/internal/analytic"
@@ -143,6 +144,12 @@ const (
 type (
 	// SimulationConfig parametrizes one throughput-simulation run.
 	SimulationConfig = sched.Config
+	// Simulation is the generic interval engine: the shared mechanism
+	// core bound to one registered technique.
+	Simulation = sched.Engine
+	// SimulationTechnique describes one registered technique (CLI
+	// key, display name, configuration rules).
+	SimulationTechnique = sched.TechniqueInfo
 	// StripedSimulation is the staggered/simple striping engine.
 	StripedSimulation = sched.Striped
 	// VDRSimulation is the virtual data replication baseline engine.
@@ -165,6 +172,26 @@ func NewStripedSimulation(cfg SimulationConfig) (*StripedSimulation, error) {
 // NewVDRSimulation builds the virtual-data-replication baseline.
 func NewVDRSimulation(cfg SimulationConfig) (*VDRSimulation, error) {
 	return sched.NewVDR(cfg)
+}
+
+// NewSimulation builds a simulation of cfg running the technique with
+// the given registry key ("striped", "staggered", or "vdr"; see
+// SimulationTechniques).  cfg is used verbatim — in particular,
+// cfg.K is the staggered stride.  Use the kept NewStripedSimulation /
+// NewVDRSimulation constructors when a concrete engine type is
+// wanted.
+func NewSimulation(cfg SimulationConfig, technique string) (*Simulation, error) {
+	ti, ok := sched.TechniqueByKey(technique)
+	if !ok {
+		return nil, fmt.Errorf("mmis: unknown technique %q (have %v)", technique, sched.TechniqueKeys())
+	}
+	return ti.New(cfg)
+}
+
+// SimulationTechniques returns the registered techniques in
+// presentation order.
+func SimulationTechniques() []SimulationTechnique {
+	return sched.Techniques()
 }
 
 // Experiments (the paper's evaluation).

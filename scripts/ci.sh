@@ -20,7 +20,18 @@ go test -bench 'BenchmarkFigure8a$|BenchmarkTable4$' -benchmem -benchtime 3x -ru
 echo "== kernel calendar microbenchmarks (short mode)"
 go test -bench 'BenchmarkCalendar' -benchmem -benchtime 100000x -run '^$' ./internal/sim
 
+echo "== golden dumps (52-config sweep + staggered strides, byte-identical)"
+go test -run 'TestGoldenSweep$|TestGoldenStaggered$|TestStaggeredKMMatchesSimpleGolden$' ./internal/sched
+
+echo "== quick sweep per registered technique"
+for tkey in $(go run ./cmd/sweep -list-techniques | awk '{print $1}'); do
+	echo "-- technique: $tkey"
+	go run ./cmd/sweep -scale quick -technique "$tkey" -stations 1,8 -dist 20 -csv
+done
+echo "-- technique: staggered (explicit stride k=1)"
+go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
+
 echo "== perf-regression report + gate (>20% ns/op over reference fails)"
-go run ./cmd/bench -out BENCH_2.json -maxregress 0.20
+go run ./cmd/bench -out BENCH_3.json -maxregress 0.20
 
 echo "CI OK"
