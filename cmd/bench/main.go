@@ -2,7 +2,7 @@
 // simulation-heavy engine benchmarks and the kernel calendar
 // microbenchmarks through testing.Benchmark, runs the scale-mode
 // sweep trajectory, and writes a machine-readable report (default
-// BENCH_3.json) with ns/op, B/op, and allocs/op next to the recorded
+// BENCH_4.json) with ns/op, B/op, and allocs/op next to the recorded
 // baselines.  With -maxregress it exits nonzero when any recorded
 // bench regresses past the threshold against its reference, so
 // scripts/ci.sh fails on hot-path regressions instead of logging
@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	bench                     # write BENCH_3.json in the current directory
+//	bench                     # write BENCH_4.json in the current directory
 //	bench -out report.json
 //	bench -maxregress 0.20    # fail on >20% ns/op regression vs reference
 package main
@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/sim"
 )
 
@@ -38,20 +39,24 @@ var baseline = map[string]Measurement{
 }
 
 // reference is the regression gate: the engine and scale benches use
-// the numbers the previous PR's harness recorded in BENCH_2.json on
+// the numbers the previous PR's harness recorded in BENCH_3.json on
 // the CI machine; the nanosecond-scale calendar benches keep the
 // upper end of their recorded range (DESIGN.md §8: 60–110 / 20–35
 // ns/op depending on the VM's state), because single-core clock
 // drift alone exceeds 20% at that scale.  -maxregress compares
-// current ns/op against these.
+// current ns/op against these — for this PR the gate proves the
+// fault-injection plumbing costs nothing on the fault-free hot path.
+// BenchmarkFaultRecovery is new (no reference); its BENCH_4.json
+// number becomes the next PR's gate.
 var reference = map[string]Measurement{
-	"BenchmarkFigure8a":         {NsPerOp: 7708148, BytesPerOp: 917361, AllocsPerOp: 6790},
-	"BenchmarkFigure8b":         {NsPerOp: 5957283, BytesPerOp: 904978, AllocsPerOp: 6572},
-	"BenchmarkFigure8c":         {NsPerOp: 5539710, BytesPerOp: 891935, AllocsPerOp: 6544},
-	"BenchmarkTable4":           {NsPerOp: 13765376, BytesPerOp: 1588276, AllocsPerOp: 11962},
+	"BenchmarkFigure8a":         {NsPerOp: 8084973, BytesPerOp: 1066334, AllocsPerOp: 6390},
+	"BenchmarkFigure8b":         {NsPerOp: 7145205, BytesPerOp: 1043485, AllocsPerOp: 6337},
+	"BenchmarkFigure8c":         {NsPerOp: 6318202, BytesPerOp: 1028412, AllocsPerOp: 6363},
+	"BenchmarkTable4":           {NsPerOp: 15163170, BytesPerOp: 1817647, AllocsPerOp: 11371},
+	"BenchmarkStaggeredK1":      {NsPerOp: 512597459, BytesPerOp: 657578792, AllocsPerOp: 2899606},
 	"BenchmarkCalendarSchedule": {NsPerOp: 110, BytesPerOp: 0, AllocsPerOp: 0},
 	"BenchmarkCalendarCancel":   {NsPerOp: 34, BytesPerOp: 0, AllocsPerOp: 0},
-	"BenchmarkScaleSweep":       {NsPerOp: 6817619, BytesPerOp: 12000000, AllocsPerOp: 27000},
+	"BenchmarkScaleSweep":       {NsPerOp: 7112049, BytesPerOp: 12000000, AllocsPerOp: 27000},
 }
 
 // Measurement is one benchmark's cost per operation.
@@ -73,7 +78,7 @@ type Entry struct {
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
-// Report is the BENCH_3.json document.
+// Report is the BENCH_4.json document.
 type Report struct {
 	Note    string                  `json:"note"`
 	Results []Entry                 `json:"results"`
@@ -139,6 +144,24 @@ func benchScaleSweep(b *testing.B) {
 	}
 }
 
+// benchFaultRecovery drives the degraded-mode paths of both engines:
+// the paper pair at one load point with a disk failing and repairing
+// mid-measurement plus a slow-disk window — the fault-path cost the
+// fault-free gate above cannot see.
+func benchFaultRecovery(b *testing.B) {
+	opts := &experiment.Options{
+		Faults: fault.NewPlan().
+			FailDiskUntil(7, 900, 1500).
+			SlowDisk(3, 1800, 2400),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure8TechniquesOpts(experiment.Quick, 20, []int{16}, 1, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchStaggeredK1 sweeps the first-class staggered technique (k=1,
 // Algorithms 1+2) through the registry-built generic engine — the
 // same path `sweep -technique staggered` runs.
@@ -157,7 +180,7 @@ func main() {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_3.json", "report file")
+	out := flag.String("out", "BENCH_4.json", "report file")
 	maxRegress := flag.Float64("maxregress", 0, "fail when any recorded bench's ns/op exceeds its reference by more than this fraction (0 = report only)")
 	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100", "comma-separated scale-sweep factors; empty = skip the sweep")
 	flag.Parse()
@@ -170,6 +193,7 @@ func run() int {
 		{"BenchmarkFigure8b", benchFigure8(20)},
 		{"BenchmarkFigure8c", benchFigure8(43.5)},
 		{"BenchmarkTable4", benchTable4},
+		{"BenchmarkFaultRecovery", benchFaultRecovery},
 		{"BenchmarkStaggeredK1", benchStaggeredK1},
 		{"BenchmarkCalendarSchedule", benchCalendarSchedule},
 		{"BenchmarkCalendarCancel", benchCalendarCancel},

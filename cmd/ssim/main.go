@@ -8,14 +8,20 @@
 //	ssim -technique vdr -stations 256 -dist 43.5
 //	ssim -technique staggered -stride 1 -stations 64
 //	ssim -scale quick ...            # reduced farm for fast runs
+//	ssim -faults 'fail:7@600-1200'   # inject a fault plan
+//
+// A run whose materializations starve at the Place retry cap exits
+// nonzero with the typed starvation diagnosis on stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/profiling"
 	"github.com/mmsim/staggered/internal/sched"
@@ -38,6 +44,8 @@ func run() (code int) {
 	warmup := flag.Int("warmup", 0, "warm-up intervals (0 = scale default)")
 	measure := flag.Int("measure", 0, "measurement intervals (0 = scale default)")
 	trace := flag.Int("trace", 0, "print the first N scheduler events")
+	faultsFlag := flag.String("faults", "", "fault plan (e.g. 'fail:7@600; slow:3@100-400; tert@0-200; wear:0-9@mttf=500,mttr=50,until=3000')")
+	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -77,6 +85,15 @@ func run() (code int) {
 	if *measure > 0 {
 		cfg.MeasureIntervals = *measure
 	}
+	cfg.EvictionPressure = *pressure
+	if *faultsFlag != "" {
+		plan, err := fault.Parse(*faultsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+			return 2
+		}
+		cfg.Faults = plan
+	}
 
 	if _, ok := sched.TechniqueByKey(*technique); !ok {
 		fmt.Fprintf(os.Stderr, "ssim: unknown technique %q\n", *technique)
@@ -89,9 +106,18 @@ func run() (code int) {
 		return 1
 	}
 	installTracer(eng, *trace)
-	res := eng.Run()
+	res, runErr := eng.RunChecked()
 
 	printResult(normalized, res)
+	if runErr != nil {
+		var sErr *sched.StarvationError
+		if errors.As(runErr, &sErr) {
+			fmt.Fprintf(os.Stderr, "ssim: %v\n", sErr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", runErr)
+		return 1
+	}
 	return 0
 }
 
@@ -139,4 +165,8 @@ func printResult(cfg sched.Config, r metrics.Run) {
 	}
 	fmt.Printf("unique residents:     %d\n", r.UniqueResidents)
 	fmt.Printf("hiccups:              %d\n", r.Hiccups)
+	if r.DegradedHiccups+r.AbortedDisplays+r.RejectedDegraded+r.StarvedMaterializations > 0 {
+		fmt.Printf("degraded mode:        %d hiccups, %d aborted displays, %d rejected admissions, %d starved materializations\n",
+			r.DegradedHiccups, r.AbortedDisplays, r.RejectedDegraded, r.StarvedMaterializations)
+	}
 }

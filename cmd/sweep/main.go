@@ -15,6 +15,8 @@
 //	sweep -csv                    # machine-readable output
 //	sweep -technique staggered -k 1  # sweep one registered technique
 //	sweep -list-techniques        # show the technique registry
+//	sweep -faults 'fail:7@600'    # inject a fault plan into every run
+//	sweep -e18                    # availability experiment (EXPERIMENTS.md E18)
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"github.com/mmsim/staggered/internal/experiment"
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/profiling"
 	"github.com/mmsim/staggered/internal/sched"
@@ -46,9 +49,22 @@ func run() (code int) {
 	techFlag := flag.String("technique", "", "comma-separated technique keys (see -list-techniques); empty = paper pair striped,vdr")
 	stride := flag.Int("k", 0, "stride k for the staggered technique (0 = technique default)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
+	faultsFlag := flag.String("faults", "", "fault plan injected into every run (e.g. 'fail:7@600; slow:3@100-400; tert@0-200; wear:0-9@mttf=500,mttr=50,until=3000')")
+	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
+	e18Flag := flag.Bool("e18", false, "run the E18 availability experiment and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *e18Flag {
+		points, err := experiment.E18(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		fmt.Print(experiment.E18Render(points))
+		return 0
+	}
 
 	if *listTech {
 		for _, ti := range sched.Techniques() {
@@ -61,6 +77,19 @@ func run() (code int) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 2
+	}
+
+	var opts *experiment.Options
+	if *faultsFlag != "" || *pressure {
+		opts = &experiment.Options{EvictionPressure: *pressure}
+		if *faultsFlag != "" {
+			plan, err := fault.Parse(*faultsFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				return 2
+			}
+			opts.Faults = plan
+		}
 	}
 
 	scale := experiment.Full
@@ -101,13 +130,15 @@ func run() (code int) {
 	}
 
 	byMean := map[float64][]experiment.Point{}
+	starved := 0
 	for _, mean := range means {
-		pts, err := experiment.Figure8Techniques(scale, mean, stations, *seed, specs)
+		pts, err := experiment.Figure8TechniquesOpts(scale, mean, stations, *seed, specs, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			return 1
 		}
 		byMean[mean] = pts
+		starved += experiment.Starved(pts)
 		if *csv {
 			if specs == nil {
 				fmt.Print(pointsCSV(mean, pts))
@@ -130,6 +161,11 @@ func run() (code int) {
 		} else {
 			fmt.Println(tbl.String())
 		}
+	}
+	if starved > 0 {
+		fmt.Fprintf(os.Stderr,
+			"sweep: warning: %d materializations starved at the Place retry cap — throughput for those configurations is not meaningful (raise capacity, add -pressure, or use k >= M; see DESIGN.md §10)\n",
+			starved)
 	}
 	return 0
 }
@@ -215,6 +251,7 @@ func pointsCSV(mean float64, pts []experiment.Point) string {
 func techniquesCSV(mean float64, pts []experiment.Point) string {
 	tbl := &metrics.Table{Header: []string{
 		"mean", "stations", "technique", "name", "per_hour", "latency_s", "unique_residents",
+		"requests", "degraded_hiccups", "aborted_displays", "rejected_degraded", "starved_materializations",
 	}}
 	for _, p := range pts {
 		for i, label := range p.Techniques {
@@ -227,6 +264,11 @@ func techniquesCSV(mean float64, pts []experiment.Point) string {
 				fmt.Sprintf("%.2f", r.Throughput()),
 				fmt.Sprintf("%.2f", r.Latency.Mean()),
 				fmt.Sprintf("%d", r.UniqueResidents),
+				fmt.Sprintf("%d", r.Requests),
+				fmt.Sprintf("%d", r.DegradedHiccups),
+				fmt.Sprintf("%d", r.AbortedDisplays),
+				fmt.Sprintf("%d", r.RejectedDegraded),
+				fmt.Sprintf("%d", r.StarvedMaterializations),
 			)
 		}
 	}

@@ -9,11 +9,29 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/sched"
 	"github.com/mmsim/staggered/internal/tertiary"
 	"github.com/mmsim/staggered/internal/workload"
 )
+
+// Options extends a sweep beyond the paper's clean-room runs: a fault
+// plan injected into every configuration and the eviction-pressure
+// fallback for exact-fit farms.  The zero value is the paper's setup.
+type Options struct {
+	Faults           *fault.Plan
+	EvictionPressure bool
+}
+
+// apply copies the options onto one run's configuration.
+func (o *Options) apply(cfg *sched.Config) {
+	if o == nil {
+		return
+	}
+	cfg.Faults = o.Faults
+	cfg.EvictionPressure = o.EvictionPressure
+}
 
 // Scale selects the experiment fidelity.
 type Scale int
@@ -28,10 +46,15 @@ const (
 )
 
 // BaseConfig returns the simulation configuration for one run at the
-// given scale.
+// given scale.  Experiment runs opt into the bounded Place-retry cap:
+// a configuration that cannot stage its catalog starves loudly (see
+// sched.StarvationError) instead of silently livelocking the way the
+// legacy zero-value configs do.
 func BaseConfig(scale Scale, stations int, mean float64, seed uint64) sched.Config {
 	if scale == Full {
-		return sched.Table3Config(stations, mean, seed)
+		cfg := sched.Table3Config(stations, mean, seed)
+		cfg.PlaceRetryLimit = sched.DefaultPlaceRetryLimit
+		return cfg
 	}
 	return sched.Config{
 		D:                 50,
@@ -49,6 +72,7 @@ func BaseConfig(scale Scale, stations int, mean float64, seed uint64) sched.Conf
 		Seed:              seed,
 		WarmupIntervals:   600,
 		MeasureIntervals:  3000,
+		PlaceRetryLimit:   sched.DefaultPlaceRetryLimit,
 	}
 }
 
@@ -135,7 +159,7 @@ type job struct {
 // slice, so workers never contend and the result is independent of
 // scheduling order: the output is deterministic per seed regardless
 // of parallelism.
-func runSweep(scale Scale, means []float64, stations []int, seed uint64, specs []TechSpec) (map[float64][]Point, error) {
+func runSweep(scale Scale, means []float64, stations []int, seed uint64, specs []TechSpec, opts *Options) (map[float64][]Point, error) {
 	if len(stations) == 0 {
 		stations = workload.PaperStations
 	}
@@ -180,6 +204,7 @@ func runSweep(scale Scale, means []float64, stations []int, seed uint64, specs [
 			for j := range jobs {
 				p := &byMean[j.mean][j.idx]
 				cfg := BaseConfig(scale, p.Stations, j.mean, seed)
+				opts.apply(&cfg)
 				spec := specs[j.tech]
 				e, _, err := sched.NewEngineFor(spec.Key, cfg, spec.Stride)
 				if err != nil {
@@ -214,7 +239,13 @@ func Figure8(scale Scale, mean float64, stations []int, seed uint64) ([]Point, e
 // Figure8Techniques runs one Figure 8 graph for an arbitrary set of
 // registered techniques (nil means the paper's default pair).
 func Figure8Techniques(scale Scale, mean float64, stations []int, seed uint64, specs []TechSpec) ([]Point, error) {
-	byMean, err := runSweep(scale, []float64{mean}, stations, seed, specs)
+	return Figure8TechniquesOpts(scale, mean, stations, seed, specs, nil)
+}
+
+// Figure8TechniquesOpts is Figure8Techniques with sweep options — the
+// entry point cmd/sweep's -faults and -pressure flags use.
+func Figure8TechniquesOpts(scale Scale, mean float64, stations []int, seed uint64, specs []TechSpec, opts *Options) ([]Point, error) {
+	byMean, err := runSweep(scale, []float64{mean}, stations, seed, specs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -294,11 +325,25 @@ func Table4(byMean map[float64][]Point) *metrics.Table {
 // different distributions interleave instead of executing graph by
 // graph.
 func RunAll(scale Scale, stations []int, seed uint64) (map[float64][]Point, error) {
-	return runSweep(scale, workload.PaperMeans, stations, seed, nil)
+	return runSweep(scale, workload.PaperMeans, stations, seed, nil, nil)
 }
 
 // RunAllTechniques is RunAll for an arbitrary set of registered
 // techniques (nil means the paper's default pair).
 func RunAllTechniques(scale Scale, stations []int, seed uint64, specs []TechSpec) (map[float64][]Point, error) {
-	return runSweep(scale, workload.PaperMeans, stations, seed, specs)
+	return runSweep(scale, workload.PaperMeans, stations, seed, specs, nil)
+}
+
+// Starved sums the starved-materialization counters across a sweep's
+// points — what cmd/sweep uses to warn loudly (on stderr) when a
+// configuration livelocked at the Place retry cap instead of silently
+// delivering zero throughput.
+func Starved(points []Point) int {
+	total := 0
+	for _, p := range points {
+		for _, r := range p.Runs {
+			total += r.StarvedMaterializations
+		}
+	}
+	return total
 }

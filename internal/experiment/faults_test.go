@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmsim/staggered/internal/sched"
+)
+
+// TestE18MatchesAnalytic is the PR's acceptance gate: the simulated
+// surviving admission fraction under a single disk failure must land
+// within 10 percentage points of analytic.SurvivingBandwidthFraction
+// for the stride extremes and simple striping.
+func TestE18MatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E18 runs 150 degraded simulations; not short")
+	}
+	points, err := E18(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(E18Strides()) {
+		t.Fatalf("E18 returned %d points, want %d", len(points), len(E18Strides()))
+	}
+	want := map[int]float64{1: 0.32, 5: 0, 50: 0.9}
+	for _, p := range points {
+		if math.Abs(p.Analytic-want[p.K]) > 1e-9 {
+			t.Errorf("k=%d analytic fraction %.4f, want %.4f", p.K, p.Analytic, want[p.K])
+		}
+		if d := math.Abs(p.Simulated - p.Analytic); d > 0.10 {
+			t.Errorf("k=%d simulated %.4f vs analytic %.4f: delta %.4f exceeds 0.10",
+				p.K, p.Simulated, p.Analytic, d)
+		}
+	}
+	// k = D isolates failures best, k = M worst; the simulation must
+	// reproduce the ordering, not just the magnitudes.
+	if !(points[2].Simulated > points[0].Simulated && points[0].Simulated > points[1].Simulated) {
+		t.Errorf("simulated fractions not ordered k=D > k=1 > k=M: %+v", points)
+	}
+}
+
+// TestE18ConfigPreloadsCatalog pins the experiment's premise: on the
+// E18 farm every object is resident, so rejections measure
+// availability with no staging traffic mixed in.
+func TestE18ConfigPreloadsCatalog(t *testing.T) {
+	cfg := e18Config(5, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.DefaultPreload(); got < cfg.Objects {
+		t.Fatalf("farm fits only %d of %d objects; E18 needs the whole catalog resident", got, cfg.Objects)
+	}
+	e, _, err := sched.NewEngineFor(TechStaggered, cfg, cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if res.UniqueResidents != cfg.Objects {
+		t.Errorf("clean run holds %d unique residents, want %d", res.UniqueResidents, cfg.Objects)
+	}
+	if res.Materializa != 0 {
+		t.Errorf("clean run staged %d objects; catalog should be fully preloaded", res.Materializa)
+	}
+	if res.RejectedDegraded != 0 {
+		t.Errorf("clean run rejected %d admissions", res.RejectedDegraded)
+	}
+}

@@ -37,6 +37,7 @@ func ScaleConfig(factor int, seed uint64) sched.Config {
 		Seed:              seed,
 		WarmupIntervals:   200,
 		MeasureIntervals:  1000,
+		PlaceRetryLimit:   sched.DefaultPlaceRetryLimit,
 	}
 	return cfg
 }

@@ -1,0 +1,190 @@
+// Package fault defines deterministic fault plans for the simulation
+// engines: disk failures (one-shot or a seeded MTTF/MTTR repair
+// process), transient slow-disk windows, and tertiary-device outages.
+//
+// A Plan is a pure schedule: building one performs no I/O and draws
+// any randomness (the repair process) from a named rng stream at build
+// time, so the same plan arguments always compile to the same event
+// sequence and a faulted run is exactly as reproducible as a clean
+// one.  Plans are immutable once handed to an engine and may be shared
+// by concurrent runs; each engine keeps its own cursor.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mmsim/staggered/internal/rng"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+const (
+	// DiskFail takes a disk out of service at Event.At.
+	DiskFail Kind = iota
+	// DiskRepair returns a failed disk to service.  The model is a
+	// transient outage: the disk's contents survive the failure (a
+	// controller or path fault, not a media loss).
+	DiskRepair
+	// SlowStart begins a latency-inflation window on a disk: reads
+	// keep completing but every interval they serve a display counts a
+	// degraded hiccup.
+	SlowStart
+	// SlowEnd closes a latency-inflation window.
+	SlowEnd
+	// TertiaryFail takes the tertiary device offline; an in-flight
+	// materialization is abandoned and no new staging starts.
+	TertiaryFail
+	// TertiaryRepair returns the tertiary device to service.
+	TertiaryRepair
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DiskFail:
+		return "disk-fail"
+	case DiskRepair:
+		return "disk-repair"
+	case SlowStart:
+		return "slow-start"
+	case SlowEnd:
+		return "slow-end"
+	case TertiaryFail:
+		return "tertiary-fail"
+	case TertiaryRepair:
+		return "tertiary-repair"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled state change.
+type Event struct {
+	At   int // interval at which the change takes effect
+	Kind Kind
+	Disk int // disk index; -1 for tertiary events
+}
+
+// Plan is a buildable schedule of fault events.  The zero value and
+// nil are both valid empty plans.
+type Plan struct {
+	events []Event
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Empty reports whether the plan schedules no events.
+func (p *Plan) Empty() bool { return p == nil || len(p.events) == 0 }
+
+// Len returns the number of scheduled events.
+func (p *Plan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.events)
+}
+
+// FailDisk schedules a permanent failure of disk at interval at.
+func (p *Plan) FailDisk(disk, at int) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: DiskFail, Disk: disk})
+	return p
+}
+
+// FailDiskUntil schedules a failure of disk at interval at with a
+// repair at interval repairAt.
+func (p *Plan) FailDiskUntil(disk, at, repairAt int) *Plan {
+	p.FailDisk(disk, at)
+	p.events = append(p.events, Event{At: repairAt, Kind: DiskRepair, Disk: disk})
+	return p
+}
+
+// SlowDisk schedules a latency-inflation window [at, until) on disk.
+func (p *Plan) SlowDisk(disk, at, until int) *Plan {
+	p.events = append(p.events,
+		Event{At: at, Kind: SlowStart, Disk: disk},
+		Event{At: until, Kind: SlowEnd, Disk: disk})
+	return p
+}
+
+// TertiaryOutage schedules a tertiary-device outage [at, until).
+func (p *Plan) TertiaryOutage(at, until int) *Plan {
+	p.events = append(p.events,
+		Event{At: at, Kind: TertiaryFail, Disk: -1},
+		Event{At: until, Kind: TertiaryRepair, Disk: -1})
+	return p
+}
+
+// WearProcess schedules an alternating failure/repair process on each
+// of the given disks up to the horizon: times to failure and to repair
+// are exponentially distributed with means mttf and mttr (in
+// intervals), drawn from a per-disk stream of the given seed.  The
+// last failure before the horizon may go unrepaired.
+func (p *Plan) WearProcess(disks []int, mttf, mttr float64, horizon int, seed uint64) *Plan {
+	if mttf <= 0 || mttr <= 0 {
+		panic("fault: WearProcess means must be positive")
+	}
+	src := rng.NewSource(seed)
+	for _, d := range disks {
+		s := src.StreamN("fault-wear", d)
+		t := 0
+		for {
+			t += atLeastOne(s.Exp(mttf))
+			if t >= horizon {
+				break
+			}
+			p.FailDisk(d, t)
+			t += atLeastOne(s.Exp(mttr))
+			if t >= horizon {
+				break
+			}
+			p.events = append(p.events, Event{At: t, Kind: DiskRepair, Disk: d})
+		}
+	}
+	return p
+}
+
+func atLeastOne(x float64) int {
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Events returns the schedule sorted by time (insertion order within a
+// tick).  The returned slice is a copy; the plan itself is never
+// mutated after building, so concurrent engines may share it.
+func (p *Plan) Events() []Event {
+	if p.Empty() {
+		return nil
+	}
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Validate checks the plan against a farm of d disks.
+func (p *Plan) Validate(d int) error {
+	if p.Empty() {
+		return nil
+	}
+	for _, ev := range p.events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %v %d at negative interval %d", ev.Kind, ev.Disk, ev.At)
+		}
+		switch ev.Kind {
+		case TertiaryFail, TertiaryRepair:
+			if ev.Disk != -1 {
+				return fmt.Errorf("fault: tertiary event with disk %d", ev.Disk)
+			}
+		default:
+			if ev.Disk < 0 || ev.Disk >= d {
+				return fmt.Errorf("fault: disk %d out of range [0, %d)", ev.Disk, d)
+			}
+		}
+	}
+	return nil
+}

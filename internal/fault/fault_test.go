@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEmptyPlan(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() || nilPlan.Len() != 0 || nilPlan.Events() != nil {
+		t.Fatal("nil plan should be empty")
+	}
+	if err := nilPlan.Validate(10); err != nil {
+		t.Fatalf("nil plan Validate: %v", err)
+	}
+	p := NewPlan()
+	if !p.Empty() || p.Len() != 0 {
+		t.Fatal("fresh plan should be empty")
+	}
+	if got, err := Parse("  "); err != nil || !got.Empty() {
+		t.Fatalf("blank string should parse to empty plan, got %v, %v", got, err)
+	}
+}
+
+func TestBuildersAndSort(t *testing.T) {
+	p := NewPlan().
+		TertiaryOutage(50, 80).
+		FailDiskUntil(3, 10, 40).
+		SlowDisk(1, 5, 20).
+		FailDisk(7, 10)
+	want := []Event{
+		{At: 5, Kind: SlowStart, Disk: 1},
+		{At: 10, Kind: DiskFail, Disk: 3},
+		{At: 10, Kind: DiskFail, Disk: 7},
+		{At: 20, Kind: SlowEnd, Disk: 1},
+		{At: 40, Kind: DiskRepair, Disk: 3},
+		{At: 50, Kind: TertiaryFail, Disk: -1},
+		{At: 80, Kind: TertiaryRepair, Disk: -1},
+	}
+	if got := p.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Events() = %v, want %v", got, want)
+	}
+	if err := p.Validate(8); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := p.Validate(7); err == nil {
+		t.Fatal("disk 7 should be out of range for a 7-disk farm")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	p := NewPlan().FailDisk(0, 5).FailDisk(1, 1)
+	a := p.Events()
+	a[0].Disk = 99
+	if b := p.Events(); b[0].Disk != 1 {
+		t.Fatalf("Events() must copy; plan mutated to %v", b)
+	}
+}
+
+func TestWearProcessDeterministic(t *testing.T) {
+	build := func() []Event {
+		return NewPlan().WearProcess([]int{0, 1, 2}, 50, 10, 1000, 7).Events()
+	}
+	a, b := build(), build()
+	if len(a) == 0 {
+		t.Fatal("wear process over 1000 intervals with MTTF 50 produced no events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("wear process is not deterministic for a fixed seed")
+	}
+	// Per disk the sequence must alternate fail/repair, strictly
+	// increasing in time, inside the horizon.
+	perDisk := map[int][]Event{}
+	for _, ev := range a {
+		perDisk[ev.Disk] = append(perDisk[ev.Disk], ev)
+	}
+	for d, evs := range perDisk {
+		last := -1
+		for i, ev := range evs {
+			wantKind := DiskFail
+			if i%2 == 1 {
+				wantKind = DiskRepair
+			}
+			if ev.Kind != wantKind {
+				t.Fatalf("disk %d event %d: kind %v, want %v", d, i, ev.Kind, wantKind)
+			}
+			if ev.At <= last || ev.At >= 1000 {
+				t.Fatalf("disk %d event %d at %d: not strictly increasing inside horizon (prev %d)", d, i, ev.At, last)
+			}
+			last = ev.At
+		}
+	}
+	if c := NewPlan().WearProcess([]int{0, 1, 2}, 50, 10, 1000, 8).Events(); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical wear schedules")
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("fail:3@500; fail:4@100-200; slow:7@200-400; tert@1000-1500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 100, Kind: DiskFail, Disk: 4},
+		{At: 200, Kind: DiskRepair, Disk: 4},
+		{At: 200, Kind: SlowStart, Disk: 7},
+		{At: 400, Kind: SlowEnd, Disk: 7},
+		{At: 500, Kind: DiskFail, Disk: 3},
+		{At: 1000, Kind: TertiaryFail, Disk: -1},
+		{At: 1500, Kind: TertiaryRepair, Disk: -1},
+	}
+	if got := p.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Events() = %v, want %v", got, want)
+	}
+
+	w, err := Parse("wear:0-2@mttf=50,mttr=10,until=1000,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewPlan().WearProcess([]int{0, 1, 2}, 50, 10, 1000, 7)
+	if !reflect.DeepEqual(w.Events(), direct.Events()) {
+		t.Fatal("parsed wear clause disagrees with direct WearProcess call")
+	}
+
+	bad := []string{
+		"fail:3",             // missing @AT
+		"fail:x@5",           // bad disk
+		"fail:3@9-5",         // window end before start
+		"slow:2@100",         // slow needs a window
+		"tert@100",           // outage needs a window
+		"wear:0-2@mttf=50",   // missing mttr/until
+		"wear:0-2@mttf=50,mttr=0,until=10", // non-positive mttr
+		"frob:1@2",           // unknown clause
+		"fail:1@2 extra",     // trailing junk inside the clause
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}

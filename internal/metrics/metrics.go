@@ -120,6 +120,13 @@ type Run struct {
 	DiskBusy        float64 // mean busy disks (fraction of D)
 	UniqueResidents int     // distinct objects on disk at end
 
+	// Degraded-mode counters (zero on a fault-free run).
+	Requests                int // station requests arriving in the window
+	DegradedHiccups         int // intervals a display rode out a failed/slow disk
+	AbortedDisplays         int // displays killed mid-delivery by a fault
+	RejectedDegraded        int // admissions refused because the object is unplayable
+	StarvedMaterializations int // materializations abandoned after the Place retry cap
+
 	Latency Tally // admission latency of displays started in the window
 }
 

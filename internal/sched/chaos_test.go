@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mmsim/staggered/internal/fault"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/tertiary"
+)
+
+// chaosScenarios is how many randomized fault scenarios the chaos
+// harness runs.  The acceptance floor is 200; a few more cost little.
+const chaosScenarios = 240
+
+// chaosConfig is a tiny farm that still exercises every subsystem:
+// materialization pressure (farm fits ~15 of 20 objects), mixed
+// strides, and both engines.  Warm-up is zero so the window counters
+// equal the lifetime counters the invariants reason about.
+func chaosConfig(stations int, mean float64, seed uint64) Config {
+	return Config{
+		D:                 20,
+		K:                 4,
+		CapacityFragments: 30,
+		Objects:           20,
+		Subobjects:        10,
+		M:                 4,
+		BDisk:             20e6,
+		FragmentBytes:     1512000,
+		Tertiary:          tertiary.Table3,
+		TapeLayout:        tertiary.DiskMatched,
+		Stations:          stations,
+		DistMean:          mean,
+		Seed:              seed,
+		WarmupIntervals:   0,
+		MeasureIntervals:  400,
+		PlaceRetryLimit:   8,
+	}
+}
+
+// chaosPlan draws a random but deterministic fault plan: a mix of
+// one-shot and repaired disk failures, slow windows, tertiary
+// outages, and occasionally a wear process, all inside the run.
+func chaosPlan(s *rng.Stream, d, horizon int) *fault.Plan {
+	p := fault.NewPlan()
+	for i, n := 0, 1+s.Intn(4); i < n; i++ {
+		at := s.Intn(horizon)
+		switch s.Intn(5) {
+		case 0:
+			p.FailDisk(s.Intn(d), at)
+		case 1:
+			p.FailDiskUntil(s.Intn(d), at, at+1+s.Intn(horizon/2))
+		case 2:
+			p.SlowDisk(s.Intn(d), at, at+1+s.Intn(horizon/2))
+		case 3:
+			p.TertiaryOutage(at, at+1+s.Intn(horizon/2))
+		case 4:
+			lo := s.Intn(d)
+			hi := lo + s.Intn(d-lo)
+			disks := make([]int, 0, hi-lo+1)
+			for f := lo; f <= hi; f++ {
+				disks = append(disks, f)
+			}
+			p.WearProcess(disks, 20+s.Uniform(0, 60), 5+s.Uniform(0, 20), horizon, s.Uint64())
+		}
+	}
+	return p
+}
+
+// TestChaos runs hundreds of seeded fault scenarios across all
+// techniques and asserts the structural invariants a degraded run
+// must keep: no negative counters, closed-loop station conservation
+// (every station is queued or in delivery at quiescence), and display
+// conservation (admitted = completed + aborted + active).  It runs in
+// -short mode on purpose — scripts/ci.sh puts it under -race.
+func TestChaos(t *testing.T) {
+	techniques := []struct {
+		key    string
+		stride int
+	}{
+		{"striped", 0},
+		{"staggered", 1},
+		{"staggered", 2},
+		{"staggered", 4},
+		{"vdr", 0},
+	}
+	means := []float64{5, 10, 15}
+	for i := 0; i < chaosScenarios; i++ {
+		i := i
+		tc := techniques[i%len(techniques)]
+		name := fmt.Sprintf("%03d-%s-k%d", i, tc.key, tc.stride)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s := rng.NewSource(uint64(1000 + i)).Stream("chaos")
+			cfg := chaosConfig(2+s.Intn(10), means[s.Intn(len(means))], uint64(1+i))
+			cfg.EvictionPressure = s.Intn(2) == 1
+			cfg.Faults = chaosPlan(s, cfg.D, cfg.MeasureIntervals)
+			e, _, err := NewEngineFor(tc.key, cfg, tc.stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, runErr := e.RunChecked()
+			if runErr != nil {
+				// Starvation is a legitimate outcome on a tiny farm
+				// under fire — the error just has to be the typed one.
+				if _, ok := runErr.(*StarvationError); !ok {
+					t.Fatalf("RunChecked: %v", runErr)
+				}
+			}
+
+			for _, c := range []struct {
+				name  string
+				value int
+			}{
+				{"Displays", res.Displays},
+				{"Materializa", res.Materializa},
+				{"Replications", res.Replications},
+				{"Hiccups", res.Hiccups},
+				{"Coalescings", res.Coalescings},
+				{"UniqueResidents", res.UniqueResidents},
+				{"Requests", res.Requests},
+				{"DegradedHiccups", res.DegradedHiccups},
+				{"AbortedDisplays", res.AbortedDisplays},
+				{"RejectedDegraded", res.RejectedDegraded},
+				{"StarvedMaterializations", res.StarvedMaterializations},
+				{"Latency.N", res.Latency.N()},
+			} {
+				if c.value < 0 {
+					t.Errorf("negative counter %s = %d", c.name, c.value)
+				}
+			}
+
+			// Display conservation over the whole run.
+			active := e.tech.activeDisplays()
+			if e.admittedTotal != e.completedTotal+e.abortedTotal+active {
+				t.Errorf("display conservation violated: admitted %d != completed %d + aborted %d + active %d",
+					e.admittedTotal, e.completedTotal, e.abortedTotal, active)
+			}
+			// Zero warm-up makes window counters lifetime counters.
+			if res.Displays != e.completedTotal || res.AbortedDisplays != e.abortedTotal {
+				t.Errorf("window/lifetime drift: Displays %d vs %d, Aborted %d vs %d",
+					res.Displays, e.completedTotal, res.AbortedDisplays, e.abortedTotal)
+			}
+
+			// Closed-loop station conservation: with zero think time
+			// every station is either queued or in delivery; none leak.
+			if out := e.stn.Outstanding(); out != cfg.Stations {
+				t.Errorf("stuck stations: %d outstanding of %d", out, cfg.Stations)
+			}
+			if got := len(e.queue) + active; got != cfg.Stations {
+				t.Errorf("station accounting: queue %d + active %d != stations %d",
+					len(e.queue), active, cfg.Stations)
+			}
+
+			// The fault masks must return to the plan's terminal state:
+			// counts never drift negative.
+			if e.downCount < 0 || e.slowCount < 0 {
+				t.Errorf("mask drift: downCount %d, slowCount %d", e.downCount, e.slowCount)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic pins that a faulted run is exactly as
+// reproducible as a clean one.
+func TestChaosDeterministic(t *testing.T) {
+	build := func() Result {
+		s := rng.NewSource(424242).Stream("chaos")
+		cfg := chaosConfig(8, 10, 7)
+		cfg.Faults = chaosPlan(s, cfg.D, cfg.MeasureIntervals)
+		e, _, err := NewEngineFor("staggered", cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := e.RunChecked()
+		return res
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Errorf("same seed, different faulted results:\n  first:  %+v\n  second: %+v", a, b)
+	}
+}

@@ -15,6 +15,7 @@ package sched
 import (
 	"fmt"
 
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/tertiary"
 )
@@ -92,7 +93,36 @@ type Config struct {
 	// replicas from tertiary store (the default here); the disk-to-disk
 	// variant is offered as a more charitable ablation.
 	DiskToDiskCopy bool
+
+	// Faults is an optional deterministic fault plan injected through
+	// the engine's interval loop (DESIGN.md §10).  Nil or empty means a
+	// fault-free run and provably costs nothing on the hot path.
+	Faults *fault.Plan
+
+	// PlaceRetryLimit caps how many times a materialization retries
+	// core.Store.Place before it is abandoned and counted as starved
+	// (with exponential backoff between attempts).  0 preserves the
+	// legacy retry-forever behavior, which can livelock a k < M
+	// exact-fit farm (DESIGN.md §9); DefaultPlaceRetryLimit is the
+	// recommended cap and what the experiment configs use.
+	PlaceRetryLimit int
+
+	// EvictionPressure lets a materialization that is about to exhaust
+	// its Place retries evict replaceable cold residents beyond the
+	// strict byte need, defragmenting an exact-fit farm instead of
+	// starving.  Only meaningful with PlaceRetryLimit > 0.
+	EvictionPressure bool
+
+	// FaultHiccupLimit is how many consecutive degraded intervals a
+	// display rides out (hiccup-and-resync) before it is aborted.
+	// 0 selects the default of 2; negative aborts immediately.
+	FaultHiccupLimit int
 }
+
+// DefaultPlaceRetryLimit is the materialization retry cap the
+// experiment layer opts into (Config zero value keeps the legacy
+// unlimited retries so pinned golden runs are untouched).
+const DefaultPlaceRetryLimit = 32
 
 // Table3Config returns the paper's §4.1 simulation configuration:
 // 1000 disks at 20 mbps, stride 5, 2000 objects of 3000 subobjects at
@@ -151,6 +181,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: warmup must be non-negative")
 	case c.ThinkMeanSeconds < 0:
 		return fmt.Errorf("sched: think time must be non-negative")
+	case c.PlaceRetryLimit < 0:
+		return fmt.Errorf("sched: place retry limit must be non-negative")
+	}
+	if err := c.Faults.Validate(c.D); err != nil {
+		return err
 	}
 	if c.Degrees != nil {
 		if len(c.Degrees) != c.Objects {
@@ -228,6 +263,20 @@ func (c Config) DefaultPreload() int {
 		n = c.Objects
 	}
 	return n
+}
+
+// faultHiccupLimitOrDefault resolves the configured hiccup tolerance:
+// 0 means the default of 2 consecutive degraded intervals, negative
+// means abort on the first one.
+func (c Config) faultHiccupLimitOrDefault() int {
+	switch {
+	case c.FaultHiccupLimit > 0:
+		return c.FaultHiccupLimit
+	case c.FaultHiccupLimit < 0:
+		return 0
+	default:
+		return 2
+	}
 }
 
 // Result is the outcome of one run.

@@ -64,7 +64,7 @@ func RunDESValidation(cfg Config) (int, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
-	if cfg.Fragmented || cfg.Coalescing || cfg.Degrees != nil || cfg.ThinkMeanSeconds != 0 {
+	if cfg.Fragmented || cfg.Coalescing || cfg.Degrees != nil || cfg.ThinkMeanSeconds != 0 || !cfg.Faults.Empty() {
 		return 0, fmt.Errorf("sched: DES validation model supports the base Figure 8 configuration only")
 	}
 	layout, err := core.NewLayout(cfg.D, cfg.K)

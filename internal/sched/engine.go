@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/policy"
 	"github.com/mmsim/staggered/internal/rng"
 	"github.com/mmsim/staggered/internal/sim"
@@ -38,6 +39,16 @@ type Technique interface {
 	// onEnqueue observes a newly queued reference, after the engine
 	// has recorded it (queue, pin count, LFU touch, trace event).
 	onEnqueue(req request)
+	// onFault observes one effective fault transition, after the
+	// engine has updated its masks: reconcile technique state — abort
+	// or degrade in-flight work touching the faulted component.  The
+	// engine dedups the plan, so a DiskFail only arrives for an up
+	// disk, a DiskRepair only for a down one, and so on.
+	onFault(ev fault.Event)
+	// activeDisplays counts the displays currently in delivery, for
+	// the chaos harness's conservation invariant
+	// (admitted = completed + aborted + active).
+	activeDisplays() int
 	// interval runs one interval of policy work in the engine's fixed
 	// phase order — claim endings due now, one tick of tertiary
 	// materialization, the admission scan, and any end-of-interval
@@ -80,6 +91,18 @@ type Engine struct {
 	now    int
 	tracer Tracer
 
+	// Fault state.  All slices stay nil on a fault-free run (empty
+	// plan) so the hot path pays a single nil check per interval.
+	faultEvents []fault.Event // sorted plan, nil when empty
+	faultCursor int
+	diskDown    []bool
+	downCount   int
+	diskSlow    []bool
+	slowCount   int
+	tertDown    bool
+	maskEpoch   int // bumped on every effective disk up/down flip
+	hiccupLimit int // consecutive degraded intervals before abort
+
 	// Counters (window handling in Run).
 	completed    int
 	materialized int
@@ -89,6 +112,21 @@ type Engine struct {
 	admitted     []float64 // admission latencies in seconds
 	busyArea     float64   // disk-busy integral in disk·intervals
 	tertBusy     int       // tertiary-busy intervals
+
+	// Degraded-mode window counters.
+	requests    int
+	degHiccups  int
+	aborted     int
+	rejectedDeg int
+	starved     int
+
+	// Lifetime counters (never window-reset): the chaos harness's
+	// conservation invariant and RunChecked's starvation check must see
+	// warm-up activity too.
+	admittedTotal  int
+	completedTotal int
+	abortedTotal   int
+	starvedTotal   int
 }
 
 // NewEngine builds an engine running the given technique.  Most
@@ -119,6 +157,12 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 			e.think[i] = src.StreamN("think", i)
 		}
 	}
+	if !cfg.Faults.Empty() {
+		e.faultEvents = cfg.Faults.Events()
+		e.diskDown = make([]bool, cfg.D)
+		e.diskSlow = make([]bool, cfg.D)
+		e.hiccupLimit = cfg.faultHiccupLimitOrDefault()
+	}
 	if err := tech.bind(e); err != nil {
 		return nil, err
 	}
@@ -135,6 +179,7 @@ func (e *Engine) TechniqueName() string { return e.tech.name() }
 func (e *Engine) enqueue(s int) {
 	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
 	req := request{station: r.Station, object: r.Object, arrived: e.now}
+	e.requests++
 	e.queue = append(e.queue, req)
 	e.pinned[req.object]++
 	e.lfu.Touch(req.object)
@@ -162,12 +207,113 @@ func (e *Engine) reissue(s int) {
 // admissions, end-of-interval work), then the busy integral — the
 // same event order CSIM's process scheduling yields for this model.
 func (e *Engine) step() {
+	if e.faultEvents != nil {
+		e.applyFaults()
+	}
 	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
 	for _, st := range e.wakeupBuf {
 		e.enqueue(st)
 	}
 	e.busyArea += float64(e.tech.interval())
 	e.now++
+}
+
+// applyFaults drains plan events due at or before the current
+// interval, updating the masks and notifying the technique of each
+// effective transition.  Redundant events (failing a dead disk,
+// repairing a live one) are absorbed here so techniques only see real
+// state flips.
+func (e *Engine) applyFaults() {
+	for e.faultCursor < len(e.faultEvents) && e.faultEvents[e.faultCursor].At <= e.now {
+		ev := e.faultEvents[e.faultCursor]
+		e.faultCursor++
+		effective := false
+		switch ev.Kind {
+		case fault.DiskFail:
+			if !e.diskDown[ev.Disk] {
+				e.diskDown[ev.Disk] = true
+				e.downCount++
+				e.maskEpoch++
+				effective = true
+			}
+		case fault.DiskRepair:
+			if e.diskDown[ev.Disk] {
+				e.diskDown[ev.Disk] = false
+				e.downCount--
+				e.maskEpoch++
+				effective = true
+			}
+		case fault.SlowStart:
+			if !e.diskSlow[ev.Disk] {
+				e.diskSlow[ev.Disk] = true
+				e.slowCount++
+				effective = true
+			}
+		case fault.SlowEnd:
+			if e.diskSlow[ev.Disk] {
+				e.diskSlow[ev.Disk] = false
+				e.slowCount--
+				effective = true
+			}
+		case fault.TertiaryFail:
+			if !e.tertDown {
+				e.tertDown = true
+				effective = true
+			}
+		case fault.TertiaryRepair:
+			if e.tertDown {
+				e.tertDown = false
+				effective = true
+			}
+		}
+		if effective {
+			e.emit(EvFault, ev.Disk, int(ev.Kind), ev.Kind.String())
+			e.tech.onFault(ev)
+		}
+	}
+}
+
+// faultActive reports whether any disk is currently failed or slow —
+// the gate on the techniques' per-interval degraded scans.
+func (e *Engine) faultActive() bool { return e.downCount > 0 || e.slowCount > 0 }
+
+// diskFaulted reports the degraded state of a physical disk: down
+// dominates slow.
+func (e *Engine) diskFaulted(d int) (down, slow bool) {
+	if e.faultEvents == nil {
+		return false, false
+	}
+	return e.diskDown[d], e.diskSlow[d]
+}
+
+// countAbort ends station s's display without counting a completion:
+// the display was killed by a fault.  The station rejoins the closed
+// loop through the usual reissue path.
+func (e *Engine) countAbort(s, object int) {
+	e.aborted++
+	e.abortedTotal++
+	e.stn.Complete(s)
+	e.emit(EvAbort, object, s, "")
+	e.reissue(s)
+}
+
+// countReject refuses an admission because the object's layout
+// touches a failed disk; the station's reference completes unserved
+// and the station rejoins the closed loop.
+func (e *Engine) countReject(r request) {
+	e.pinned[r.object]--
+	e.rejectedDeg++
+	e.stn.Complete(r.station)
+	e.emit(EvReject, r.object, r.station, "")
+	e.reissue(r.station)
+}
+
+// countStarved records a materialization abandoned at the Place retry
+// cap.
+func (e *Engine) countStarved(object int) {
+	e.starved++
+	e.starvedTotal++
+	e.emit(EvStarve, object, -1, "")
 }
 
 // Run executes warm-up and measurement and returns the statistics.
@@ -185,6 +331,7 @@ func (e *Engine) Run() Result {
 	e.completed, e.materialized, e.coalescings, e.replications = 0, 0, 0, 0
 	e.admitted = e.admitted[:0]
 	e.busyArea, e.tertBusy = 0, 0
+	e.requests, e.degHiccups, e.aborted, e.rejectedDeg, e.starved = 0, 0, 0, 0, 0
 
 	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
 	for e.now < end {
@@ -205,9 +352,34 @@ func (e *Engine) Run() Result {
 		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
 		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
 		UniqueResidents: e.tech.uniqueResidents(),
+
+		Requests:                e.requests,
+		DegradedHiccups:         e.degHiccups,
+		AbortedDisplays:         e.aborted,
+		RejectedDegraded:        e.rejectedDeg,
+		StarvedMaterializations: e.starved,
 	}
 	for _, l := range e.admitted {
 		res.Latency.Add(l)
 	}
 	return res
+}
+
+// RunChecked is Run with loud failure modes: it returns a
+// *StarvationError when any materialization (including during
+// warm-up) was abandoned at the Place retry cap, so a sweep that
+// silently delivered zero displays becomes a typed error instead of a
+// zero row.  The Result is valid either way.
+func (e *Engine) RunChecked() (Result, error) {
+	res := e.Run()
+	if e.starvedTotal > 0 {
+		return res, &StarvationError{
+			Technique: e.tech.name(),
+			K:         e.cfg.K,
+			M:         e.cfg.M,
+			Starved:   e.starvedTotal,
+			Displays:  res.Displays,
+		}
+	}
+	return res, nil
 }

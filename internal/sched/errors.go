@@ -1,0 +1,21 @@
+package sched
+
+import "fmt"
+
+// StarvationError reports that materializations were abandoned at the
+// Place retry cap (Config.PlaceRetryLimit): the farm could not fit
+// the objects the workload demanded, typically because a k < M stride
+// fragments an exact-fit farm (DESIGN.md §9).  Returned by
+// Engine.RunChecked so zero-display sweeps fail loudly; the run's
+// Result remains valid.
+type StarvationError struct {
+	Technique string
+	K, M      int
+	Starved   int // materializations abandoned over the whole run
+	Displays  int // displays completed in the measurement window
+}
+
+func (e *StarvationError) Error() string {
+	return fmt.Sprintf("sched: %s (M=%d): %d materializations starved at the Place retry cap (%d displays completed); the farm cannot fit the working set — raise capacity, enable EvictionPressure, or use k >= M",
+		e.Technique, e.M, e.Starved, e.Displays)
+}

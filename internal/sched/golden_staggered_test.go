@@ -47,19 +47,29 @@ func staggeredGoldenConfigs() []struct {
 	return out
 }
 
-func TestGoldenStaggered(t *testing.T) {
-	if testing.Short() {
-		t.Skip("staggered golden sweep is not short")
-	}
+// staggeredGoldenDump renders the staggered dump, optionally mutating
+// each configuration first (see TestEmptyFaultPlanGolden).
+func staggeredGoldenDump(t *testing.T, mutate func(*Config)) string {
+	t.Helper()
 	var b strings.Builder
 	for _, gc := range staggeredGoldenConfigs() {
+		if mutate != nil {
+			mutate(&gc.cfg)
+		}
 		e, _, err := NewEngineFor("staggered", gc.cfg, gc.stride)
 		if err != nil {
 			t.Fatalf("%s: %v", gc.name, err)
 		}
-		fmt.Fprintf(&b, "%s: %+v\n", gc.name, e.Run())
+		fmt.Fprintf(&b, "%s: %+v\n", gc.name, legacyView(e.Run()))
 	}
-	got := b.String()
+	return b.String()
+}
+
+func TestGoldenStaggered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staggered golden sweep is not short")
+	}
+	got := staggeredGoldenDump(t, nil)
 	path := filepath.Join("testdata", "golden_staggered.txt")
 	if *updateGoldenStaggered {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -151,7 +161,7 @@ func TestStaggeredKMMatchesSimpleGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := fmt.Sprintf("%s: %+v", name, e.Run())
+			got := fmt.Sprintf("%s: %+v", name, legacyView(e.Run()))
 			if got != want {
 				t.Errorf("k=M does not degenerate to simple striping:\n  golden:  %s\n  generic: %s", want, got)
 			}

@@ -75,9 +75,19 @@ func goldenConfigs() []struct {
 }
 
 func goldenDump(t *testing.T) string {
+	return goldenDumpWith(t, nil)
+}
+
+// goldenDumpWith renders the 52-config dump, optionally mutating each
+// configuration first — the hook TestEmptyFaultPlanGolden uses to
+// prove an empty fault plan changes nothing.
+func goldenDumpWith(t *testing.T, mutate func(*Config)) string {
 	t.Helper()
 	var b strings.Builder
 	for _, gc := range goldenConfigs() {
+		if mutate != nil {
+			mutate(&gc.cfg)
+		}
 		var (
 			res Result
 			err error
@@ -96,7 +106,7 @@ func goldenDump(t *testing.T) string {
 		if err != nil {
 			t.Fatalf("%s: %v", gc.name, err)
 		}
-		fmt.Fprintf(&b, "%s: %+v\n", gc.name, res)
+		fmt.Fprintf(&b, "%s: %+v\n", gc.name, legacyView(res))
 	}
 	return b.String()
 }

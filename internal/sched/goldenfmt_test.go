@@ -1,0 +1,51 @@
+package sched
+
+import "github.com/mmsim/staggered/internal/metrics"
+
+// legacyResult mirrors the Result field set the golden dumps were
+// recorded with (before the degraded-mode counters were added), in
+// the exact declaration order, so %+v of a projection reproduces the
+// pinned lines byte for byte.  On a fault-free run the projected
+// fields carry everything the run produced — the new counters are all
+// zero by construction (asserted by TestEmptyFaultPlanGolden), except
+// Requests, which existed implicitly as workload traffic and was
+// never dumped.
+type legacyResult struct {
+	Technique string
+	Stations  int
+	DistMean  float64
+
+	WarmupSeconds  float64
+	MeasureSeconds float64
+
+	Displays        int
+	Materializa     int
+	Replications    int
+	Hiccups         int
+	Coalescings     int
+	TertiaryBusy    float64
+	DiskBusy        float64
+	UniqueResidents int
+
+	Latency metrics.Tally
+}
+
+// legacyView projects a Result onto the pinned golden field set.
+func legacyView(r Result) legacyResult {
+	return legacyResult{
+		Technique:       r.Technique,
+		Stations:        r.Stations,
+		DistMean:        r.DistMean,
+		WarmupSeconds:   r.WarmupSeconds,
+		MeasureSeconds:  r.MeasureSeconds,
+		Displays:        r.Displays,
+		Materializa:     r.Materializa,
+		Replications:    r.Replications,
+		Hiccups:         r.Hiccups,
+		Coalescings:     r.Coalescings,
+		TertiaryBusy:    r.TertiaryBusy,
+		DiskBusy:        r.DiskBusy,
+		UniqueResidents: r.UniqueResidents,
+		Latency:         r.Latency,
+	}
+}

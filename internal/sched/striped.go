@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/mmsim/staggered/internal/core"
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/vdisk"
 )
 
@@ -23,8 +24,13 @@ type display struct {
 	first   int // disk of the object's fragment (0,0)
 	tau0    int // admission interval
 	tmax    int
-	done    bool // delivery completed
+	done    bool // delivery completed or aborted
 	streams []stream
+
+	// Degraded-mode state: how many consecutive intervals a fault has
+	// touched this display, and the last such interval.
+	degraded   int
+	degradedAt int
 }
 
 // deliveryEnd returns the interval during which the last subobject is
@@ -59,13 +65,20 @@ type stripedTech struct {
 	layout core.Layout
 	store  *core.Store
 
-	vbusy []int // virtual disk -> owner display id, matOwner, or freeSlot
-	busy  int   // count of non-free virtual disks, maintained incrementally
+	vbusy []int      // virtual disk -> owner display id, matOwner, or freeSlot
+	vdisp []*display // virtual disk -> owning display (nil for free/matOwner)
+	busy  int        // count of non-free virtual disks, maintained incrementally
 
 	nextID   int
+	active   int   // displays currently in delivery
 	byObject []int // object -> active display count
 
 	ready []bool // object resident and fully materialized
+
+	// Degraded-mode state (only exercised when a fault plan is set).
+	playEpoch []int     // object -> maskEpoch its playability was memoized at
+	playOK    []bool    // memoized playability under the current mask
+	rejectBuf []request // unplayable admissions, refused after the queue swap
 
 	// Event rings: what fires at a given interval, indexed by
 	// interval mod the ring length.  Every event is scheduled at most
@@ -92,6 +105,9 @@ type stripedTech struct {
 	matStarted   bool
 	matRemaining int
 	matVdisks    []int
+	matRetries   int  // failed Place attempts for the pending staging
+	matNextTry   int  // backoff: no Place attempt before this interval
+	matPressured bool // the eviction-pressure fallback already fired
 }
 
 const (
@@ -144,8 +160,14 @@ func (t *stripedTech) bind(e *Engine) error {
 	t.layout = layout
 	t.store = st
 	t.vbusy = make([]int, cfg.D)
+	t.vdisp = make([]*display, cfg.D)
 	t.byObject = make([]int, cfg.Objects)
 	t.ready = make([]bool, cfg.Objects)
+	t.playEpoch = make([]int, cfg.Objects)
+	t.playOK = make([]bool, cfg.Objects)
+	for i := range t.playEpoch {
+		t.playEpoch[i] = -1
+	}
 	t.horizon = horizon
 	t.releases = make([][]streamRef, horizon)
 	t.completions = make([][]*display, horizon)
@@ -183,6 +205,9 @@ func (t *stripedTech) onEnqueue(request) {}
 // enabled; it returns the busy-disk count for the utilization
 // integral.
 func (t *stripedTech) interval() int {
+	if t.eng.faultActive() {
+		t.degradedScan()
+	}
 	t.finishDue()
 	t.stepTertiary()
 	t.admit()
@@ -190,6 +215,153 @@ func (t *stripedTech) interval() int {
 		t.coalesce()
 	}
 	return t.busy
+}
+
+func (t *stripedTech) activeDisplays() int { return t.active }
+
+// onFault reconciles technique state with an effective fault
+// transition.  Disk up/down flips need no immediate work here: the
+// per-interval degradedScan handles in-flight displays, and the
+// admission playability memo is keyed by the engine's mask epoch, so
+// it self-invalidates.  A tertiary outage abandons staging work.
+func (t *stripedTech) onFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.TertiaryFail:
+		if t.matObject >= 0 {
+			t.abortStaging()
+		}
+	}
+}
+
+// degradedScan visits every faulted physical disk once per interval
+// and degrades whatever is reading or writing it right now: displays
+// ride out up to the hiccup limit of consecutive degraded intervals
+// on a DOWN disk before aborting (a slow disk only inflates the
+// hiccup count), and a materialization writing to a down disk is
+// abandoned.  The scan is gated on faultActive, so a fault-free run
+// never pays for it.
+func (t *stripedTech) degradedScan() {
+	e := t.eng
+	for f := 0; f < t.cfg.D; f++ {
+		down, slow := e.diskFaulted(f)
+		if !down && !slow {
+			continue
+		}
+		v := t.vdiskOf(f)
+		owner := t.vbusy[v]
+		if owner == freeSlot {
+			continue
+		}
+		if owner == matOwner {
+			if down {
+				t.abortStaging()
+			}
+			continue
+		}
+		d := t.vdisp[v]
+		if d == nil || d.done {
+			continue
+		}
+		if d.degradedAt == e.now {
+			continue // two faulted streams in one interval count once
+		}
+		if d.degradedAt != e.now-1 {
+			d.degraded = 0 // the previous degraded run ended; resync
+		}
+		d.degradedAt = e.now
+		d.degraded++
+		e.degHiccups++
+		if down && d.degraded > e.hiccupLimit {
+			t.abortDisplay(d)
+		}
+	}
+}
+
+// abortDisplay kills an in-flight display: all stream claims release
+// immediately, pending ring entries go stale (consumers revalidate),
+// and the station rejoins the closed loop through the abort path.
+// The display is never pooled — stale refs may still address it.
+func (t *stripedTech) abortDisplay(d *display) {
+	for i := range d.streams {
+		s := &d.streams[i]
+		if s.vdisk >= 0 {
+			t.setVBusy(s.vdisk, freeSlot, nil)
+			s.vdisk = -1
+		}
+	}
+	d.done = true
+	t.active--
+	t.byObject[d.object]--
+	t.eng.countAbort(d.station, d.object)
+}
+
+// abortStaging abandons the pending or in-flight materialization: the
+// write claims release, a partially written object is evicted rather
+// than published, and the device request is dropped (stations still
+// wanting the object re-request it on their next admission scan).
+func (t *stripedTech) abortStaging() {
+	for _, v := range t.matVdisks {
+		t.setVBusy(v, freeSlot, nil)
+	}
+	t.matVdisks = t.matVdisks[:0]
+	if t.matStarted && t.store.Resident(t.matObject) {
+		t.eng.emit(EvEvict, t.matObject, -1, "staging aborted")
+		_ = t.store.Evict(t.matObject)
+	}
+	t.matObject = -1
+	t.matStarted = false
+	t.matRetries, t.matNextTry, t.matPressured = 0, 0, false
+	t.eng.tman.Abort()
+}
+
+// playable reports whether an object's resident layout avoids every
+// down disk for the full duration of a display.  Memoized per mask
+// epoch: the answer only changes when a disk fails or is repaired, or
+// when the object is re-placed (which resets its memo slot).
+func (t *stripedTech) playable(obj int) bool {
+	e := t.eng
+	if e.faultEvents == nil || e.downCount == 0 {
+		return true
+	}
+	if t.playEpoch[obj] == e.maskEpoch {
+		return t.playOK[obj]
+	}
+	ok := true
+	if p, resident := t.store.Placement(obj); resident {
+		ok = !t.footprintHitsDown(p.First, t.cfg.Degree(obj))
+	}
+	t.playEpoch[obj] = e.maskEpoch
+	t.playOK[obj] = ok
+	return ok
+}
+
+// footprintHitsDown reports whether the stride orbit of a placement —
+// the physical disks its M-disk read window visits over a display —
+// includes a down disk.  The orbit repeats after D/gcd(K, D) steps,
+// so the walk is bounded by that cycle.
+func (t *stripedTech) footprintHitsDown(first, m int) bool {
+	e := t.eng
+	d := t.cfg.D
+	cycle := d / gcd(t.cfg.K, d)
+	if n := t.cfg.Subobjects; n < cycle {
+		cycle = n
+	}
+	for step := 0; step < cycle; step++ {
+		base := first + t.cfg.K*step
+		for j := 0; j < m; j++ {
+			if e.diskDown[(base+j)%d] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 func (t *stripedTech) uniqueResidents() int { return t.store.ResidentCount() }
@@ -202,8 +374,10 @@ func (t *stripedTech) vdiskOf(f int) int {
 
 // setVBusy transfers ownership of virtual disk v and maintains the
 // farm-busy counter — the incremental replacement for the per-interval
-// O(D) occupancy scan.
-func (t *stripedTech) setVBusy(v, owner int) {
+// O(D) occupancy scan.  d is the owning display (nil for free or
+// materialization claims), kept in a parallel table so the degraded
+// scan can walk from a faulted physical disk to the display it hurts.
+func (t *stripedTech) setVBusy(v, owner int, d *display) {
 	if (t.vbusy[v] == freeSlot) != (owner == freeSlot) {
 		if owner == freeSlot {
 			t.busy--
@@ -212,6 +386,7 @@ func (t *stripedTech) setVBusy(v, owner int) {
 		}
 	}
 	t.vbusy[v] = owner
+	t.vdisp[v] = d
 }
 
 // finishDue releases stream disks whose reads end this interval and
@@ -243,7 +418,7 @@ func (t *stripedTech) finishDue() {
 			if t.vbusy[s.vdisk] != d.id {
 				e.hiccups++
 			}
-			t.setVBusy(s.vdisk, freeSlot)
+			t.setVBusy(s.vdisk, freeSlot, nil)
 			s.vdisk = -1 // released
 		}
 	}
@@ -251,8 +426,13 @@ func (t *stripedTech) finishDue() {
 		t.completions[slot] = ds[:0]
 		reissue := e.reissueBuf[:0]
 		for _, d := range ds {
+			if d.done {
+				continue // aborted by a fault; the abort path settled it
+			}
 			d.done = true
+			t.active--
 			e.completed++
+			e.completedTotal++
 			e.emit(EvComplete, d.object, d.station, "")
 			t.byObject[d.object]--
 			e.stn.Complete(d.station)
@@ -282,22 +462,28 @@ func (t *stripedTech) stepTertiary() {
 		}
 		return
 	}
+	if e.tertDown {
+		return // device offline: no new staging starts
+	}
 	if t.matObject < 0 {
 		id, ok := e.tman.StartNext()
 		if !ok {
 			return
 		}
 		t.matObject = id
+		t.matRetries, t.matNextTry, t.matPressured = 0, 0, false
 	}
 	// Stage the pending object: secure space, then disks.
 	obj := t.matObject
 	if !t.store.Resident(obj) {
-		if !t.makeRoom(obj) {
-			return // retry next interval
+		if e.now < t.matNextTry {
+			return // backing off after a failed Place
 		}
-		if _, err := t.store.Place(obj, t.cfg.Degree(obj), t.cfg.Subobjects); err != nil {
-			return // still no contiguous start; retry
+		if !t.tryPlace(obj) {
+			t.placeFailed(obj)
+			return
 		}
+		t.matRetries, t.matNextTry = 0, 0
 	}
 	p, _ := t.store.Placement(obj)
 	w := t.cfg.Tertiary.DisksOccupied(t.cfg.BDisk)
@@ -313,7 +499,7 @@ func (t *stripedTech) stepTertiary() {
 		vids[j] = v
 	}
 	for _, v := range vids {
-		t.setVBusy(v, matOwner)
+		t.setVBusy(v, matOwner, nil)
 	}
 	t.matVdisks = append(t.matVdisks[:0], vids...)
 	t.matStarted = true
@@ -328,6 +514,81 @@ func (t *stripedTech) stepTertiary() {
 	}
 }
 
+// tryPlace secures space (evicting cold residents as needed) and a
+// contiguous start for obj — the legacy staging step, factored out so
+// the bounded-retry path can reuse it after eviction pressure.
+func (t *stripedTech) tryPlace(obj int) bool {
+	if !t.makeRoom(obj) {
+		return false
+	}
+	if _, err := t.store.Place(obj, t.cfg.Degree(obj), t.cfg.Subobjects); err != nil {
+		return false
+	}
+	t.playEpoch[obj] = -1 // re-placed: the playability memo is stale
+	return true
+}
+
+// placeFailed handles one failed Place attempt.  With the legacy
+// unlimited-retry configuration (PlaceRetryLimit 0) it just leaves
+// the staging pending for the next interval — the DESIGN.md §9
+// livelock.  With a cap it backs off exponentially, fires the
+// one-shot eviction-pressure fallback at the limit when enabled, and
+// finally abandons the staging as starved so the run fails loudly
+// instead of delivering a silent zero-display sweep.
+func (t *stripedTech) placeFailed(obj int) {
+	e := t.eng
+	limit := t.cfg.PlaceRetryLimit
+	if limit == 0 {
+		return // retry next interval, forever
+	}
+	t.matRetries++
+	if t.matRetries >= limit {
+		if t.cfg.EvictionPressure && !t.matPressured {
+			// Last resort before starving: evict every replaceable
+			// resident, trading catalog variety for a defragmented
+			// farm, and try once more.
+			t.matPressured = true
+			t.pressureEvict()
+			if t.tryPlace(obj) {
+				t.matRetries, t.matNextTry = 0, 0
+				return
+			}
+		}
+		e.countStarved(obj)
+		t.matObject = -1
+		t.matRetries, t.matNextTry, t.matPressured = 0, 0, false
+		e.tman.Abort()
+		return
+	}
+	// Exponential backoff, capped at 16 intervals: the farm only
+	// changes when displays end or evictions fire, so hammering Place
+	// every interval buys nothing.
+	shift := t.matRetries
+	if shift > 4 {
+		shift = 4
+	}
+	t.matNextTry = e.now + 1<<shift
+}
+
+// pressureEvict evicts every currently replaceable resident — beyond
+// the strict byte need makeRoom stops at — so a fragmented exact-fit
+// farm gets one defragmented chance before a staging starves.
+func (t *stripedTech) pressureEvict() {
+	e := t.eng
+	victims := append(t.candScratch[:0], t.store.ResidentIDs()...)
+	for _, id := range victims {
+		if !t.evictable(id) {
+			continue
+		}
+		t.ready[id] = false
+		e.emit(EvEvict, id, -1, "pressure")
+		if err := t.store.Evict(id); err != nil {
+			e.hiccups++
+		}
+	}
+	t.candScratch = victims[:0]
+}
+
 // finishMaterialization publishes the staged object and frees the
 // write disks and the device.
 func (t *stripedTech) finishMaterialization() {
@@ -335,7 +596,7 @@ func (t *stripedTech) finishMaterialization() {
 	e.emit(EvMatEnd, t.matObject, -1, "")
 	t.ready[t.matObject] = true
 	for _, v := range t.matVdisks {
-		t.setVBusy(v, freeSlot)
+		t.setVBusy(v, freeSlot, nil)
 	}
 	t.matVdisks = t.matVdisks[:0]
 	t.matObject = -1
@@ -430,6 +691,15 @@ func (t *stripedTech) admit() {
 			}
 			continue
 		}
+		if !t.playable(r.object) {
+			// The layout's stride orbit crosses a down disk: admitting
+			// would guarantee hiccups or an abort, so refuse instead.
+			// Deferred past the queue swap — kept aliases the queue's
+			// backing array, and the rejection path reissues the
+			// station, which must append to the NEW queue.
+			t.rejectBuf = append(t.rejectBuf, r)
+			continue
+		}
 		if t.cfg.D-t.busy >= t.cfg.Degree(r.object) && t.tryAdmit(r, p, &fragBudget) {
 			e.pinned[r.object]--
 			continue
@@ -442,6 +712,12 @@ func (t *stripedTech) admit() {
 	}
 	e.queueScratch = e.queue[:0]
 	e.queue = kept
+	if len(t.rejectBuf) > 0 {
+		for _, r := range t.rejectBuf {
+			e.countReject(r)
+		}
+		t.rejectBuf = t.rejectBuf[:0]
+	}
 }
 
 // tryAdmit attempts a contiguous admission, falling back to
@@ -521,20 +797,21 @@ func (t *stripedTech) start(r request, p core.Placement, vids, ts []int, tmax in
 		streams = streams[:len(vids)]
 	}
 	*d = display{
-		id:      t.nextID,
-		station: r.station,
-		object:  r.object,
-		first:   p.First,
-		tau0:    e.now,
-		tmax:    tmax,
-		streams: streams,
+		id:         t.nextID,
+		station:    r.station,
+		object:     r.object,
+		first:      p.First,
+		tau0:       e.now,
+		tmax:       tmax,
+		streams:    streams,
+		degradedAt: -2, // never degraded: -2 is adjacent to no interval
 	}
 	t.nextID++
 	for i := range vids {
 		if t.vbusy[vids[i]] != freeSlot {
 			e.hiccups++
 		}
-		t.setVBusy(vids[i], d.id)
+		t.setVBusy(vids[i], d.id, d)
 		d.streams[i] = stream{vdisk: vids[i], t: ts[i]}
 		slot := (d.tau0 + ts[i] + n) % t.horizon
 		t.releases[slot] = append(t.releases[slot], streamRef{d: d, i: i})
@@ -544,7 +821,9 @@ func (t *stripedTech) start(r request, p core.Placement, vids, ts []int, tmax in
 	if tmax > 0 {
 		t.coalescing = append(t.coalescing, d)
 	}
+	t.active++
 	t.byObject[r.object]++
+	e.admittedTotal++
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
 	if e.tracer != nil {
 		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
@@ -584,8 +863,8 @@ func (t *stripedTech) coalesce() {
 				pending = true
 				continue
 			}
-			t.setVBusy(s.vdisk, freeSlot)
-			t.setVBusy(ideal, d.id)
+			t.setVBusy(s.vdisk, freeSlot, nil)
+			t.setVBusy(ideal, d.id, d)
 			s.vdisk = ideal
 			s.t = d.tmax
 			slot := (d.tau0 + d.tmax + n) % t.horizon

@@ -20,6 +20,16 @@ const (
 	EvMatEnd
 	// EvCoalesce is an Algorithm-2 stream move.
 	EvCoalesce
+	// EvFault is an effective fault-plan transition (Object carries the
+	// disk index, Station the fault.Kind, Detail its name).
+	EvFault
+	// EvAbort is a display killed mid-delivery by a fault.
+	EvAbort
+	// EvReject is an admission refused because the object's layout
+	// touches a failed disk.
+	EvReject
+	// EvStarve is a materialization abandoned at the Place retry cap.
+	EvStarve
 )
 
 func (k EventKind) String() string {
@@ -38,6 +48,14 @@ func (k EventKind) String() string {
 		return "mat-end"
 	case EvCoalesce:
 		return "coalesce"
+	case EvFault:
+		return "fault"
+	case EvAbort:
+		return "abort"
+	case EvReject:
+		return "reject"
+	case EvStarve:
+		return "starve"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

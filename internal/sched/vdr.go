@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/mmsim/staggered/internal/core"
+	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/policy"
 	"github.com/mmsim/staggered/internal/sim"
 )
@@ -52,6 +53,13 @@ type vdrTech struct {
 	objScratch  []int // eviction-plan candidate scratch
 	dropScratch []int // eviction-plan drop scratch
 	dropBest    []int // best drop set found by victimCluster
+
+	// Degraded-mode state, allocated only when a fault plan is set so
+	// the fault-free hot path keeps its nil checks free.
+	clusterBad  []int     // cluster -> down disks in it
+	clusterSlow []int     // cluster -> slow disks in it
+	jobDegraded []int     // cluster -> consecutive degraded display intervals
+	rejectBuf   []request // unservable admissions, refused after the queue swap
 
 	totalRefs int64 // references issued, for popularity shares
 
@@ -114,6 +122,11 @@ func (t *vdrTech) bind(e *Engine) error {
 	t.busyUntil = make([]int, t.clusters)
 	t.jobObject = make([]int, t.clusters)
 	t.station = make([]int, t.clusters)
+	if e.faultEvents != nil {
+		t.clusterBad = make([]int, t.clusters)
+		t.clusterSlow = make([]int, t.clusters)
+		t.jobDegraded = make([]int, t.clusters)
+	}
 	for c := range t.jobObject {
 		t.jobObject[c] = -1
 	}
@@ -175,10 +188,132 @@ func (t *vdrTech) onEnqueue(request) { t.totalRefs++ }
 // tertiary progress, then the admission scan; it returns the busy
 // disk count (busy clusters × M) for the utilization integral.
 func (t *vdrTech) interval() int {
+	if t.eng.faultActive() {
+		t.degradedScan()
+	}
 	t.finishDue()
 	t.stepTertiary()
 	t.admit()
 	return t.busyClusters * t.cfg.M
+}
+
+func (t *vdrTech) activeDisplays() int {
+	n := 0
+	for _, j := range t.job {
+		if j == jobDisplay {
+			n++
+		}
+	}
+	return n
+}
+
+// onFault maintains the per-cluster fault tallies.  A repaired
+// cluster's degraded streak resets; a tertiary outage abandons the
+// staging in flight.
+func (t *vdrTech) onFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.DiskFail:
+		t.clusterBad[ev.Disk/t.cfg.M]++
+	case fault.DiskRepair:
+		c := ev.Disk / t.cfg.M
+		t.clusterBad[c]--
+		if t.clusterBad[c] == 0 {
+			t.jobDegraded[c] = 0
+		}
+	case fault.SlowStart:
+		t.clusterSlow[ev.Disk/t.cfg.M]++
+	case fault.SlowEnd:
+		t.clusterSlow[ev.Disk/t.cfg.M]--
+	case fault.TertiaryFail:
+		if t.matObject >= 0 {
+			t.abortStaging()
+		}
+	}
+}
+
+// degradedScan visits each cluster once per interval while any fault
+// is active: a display on a cluster with a down disk rides out up to
+// the hiccup limit of consecutive degraded intervals before aborting
+// (a slow disk only inflates the degraded-hiccup count); copies and
+// materializations touching a down disk are abandoned immediately —
+// their product would be unreadable anyway.
+func (t *vdrTech) degradedScan() {
+	e := t.eng
+	for c := 0; c < t.clusters; c++ {
+		bad, slow := t.clusterBad[c] > 0, t.clusterSlow[c] > 0
+		if !bad && !slow || t.job[c] == jobIdle {
+			continue
+		}
+		switch t.job[c] {
+		case jobDisplay:
+			e.degHiccups++
+			if bad {
+				t.jobDegraded[c]++
+				if t.jobDegraded[c] > e.hiccupLimit {
+					t.abortDisplay(c)
+				}
+			}
+		case jobCopySource, jobCopyTarget:
+			if bad {
+				t.abortCopy(c)
+			}
+		case jobMaterialize:
+			if bad {
+				t.abortStaging()
+			}
+		}
+	}
+}
+
+// abortDisplay kills the display on cluster c; its ending-wheel entry
+// goes stale (finishDue revalidates against jobIdle).
+func (t *vdrTech) abortDisplay(c int) {
+	station, object := t.station[c], t.jobObject[c]
+	t.clearJob(c)
+	t.eng.countAbort(station, object)
+}
+
+// abortCopy abandons a disk-to-disk copy from either end, releasing
+// the partner cluster too (copy pairs share object and end interval).
+func (t *vdrTech) abortCopy(c int) {
+	obj, until := t.jobObject[c], t.busyUntil[c]
+	other := jobCopySource
+	if t.job[c] == jobCopySource {
+		other = jobCopyTarget
+	}
+	t.clearJob(c)
+	for p := 0; p < t.clusters; p++ {
+		if t.job[p] == other && t.jobObject[p] == obj && t.busyUntil[p] == until {
+			t.clearJob(p)
+			return
+		}
+	}
+}
+
+// abortStaging abandons the pending or in-flight materialization; a
+// miss staging returns its device slot so stations re-request the
+// object, a replication staging is simply dropped (the replication
+// trigger re-fires if still warranted).
+func (t *vdrTech) abortStaging() {
+	if t.matStarted {
+		t.clearJob(t.matCluster)
+	}
+	if t.matFromTman {
+		t.eng.tman.Abort()
+	}
+	t.matObject = -1
+	t.matStarted = false
+}
+
+// anyLiveReplica reports whether some replica of id sits on a cluster
+// with no down disk.
+func (t *vdrTech) anyLiveReplica(id int) bool {
+	for _, c := range t.store.Replicas(id) {
+		if t.clusterBad[c] == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *vdrTech) uniqueResidents() int { return t.store.UniqueResident() }
@@ -191,6 +326,9 @@ func (t *vdrTech) setJob(c int, job clusterJob, object, until int) {
 	t.jobObject[c] = object
 	t.busyUntil[c] = until
 	t.busyClusters++
+	if t.jobDegraded != nil {
+		t.jobDegraded[c] = 0
+	}
 	t.endings.Add(until, c)
 	if job == jobCopyTarget {
 		t.copyTargets[object]++
@@ -228,6 +366,7 @@ func (t *vdrTech) finishDue() {
 		switch t.job[c] {
 		case jobDisplay:
 			e.completed++
+			e.completedTotal++
 			e.stn.Complete(t.station[c])
 			reissue = append(reissue, t.station[c])
 		case jobCopyTarget:
@@ -269,6 +408,9 @@ func (t *vdrTech) stepTertiary() {
 	if t.matStarted {
 		e.tertBusy++
 		return // completion handled by finishDue
+	}
+	if e.tertDown {
+		return // device offline: no new staging starts
 	}
 	if t.matObject < 0 {
 		if id, ok := e.tman.StartNext(); ok {
@@ -324,6 +466,9 @@ func (t *vdrTech) marginalValue(id int) float64 {
 func (t *vdrTech) evictionPlan(c, need, forObject int, buf []int) (drop []int, loss float64, ok bool) {
 	if t.job[c] != jobIdle {
 		return nil, 0, false
+	}
+	if t.clusterBad != nil && t.clusterBad[c] > 0 {
+		return nil, 0, false // never stage or copy into a broken cluster
 	}
 	if forObject >= 0 && t.store.HasReplicaOn(forObject, c) {
 		return nil, 0, false // a replica of the object must not overwrite itself
@@ -427,6 +572,14 @@ func (t *vdrTech) admit() {
 			kept = append(kept, r)
 			continue
 		}
+		if e.downCount > 0 && !t.anyLiveReplica(r.object) {
+			// Every replica sits behind a down disk: refuse rather than
+			// queue forever.  Deferred past the queue swap — kept
+			// aliases the queue's backing array, and the rejection path
+			// reissues the station into the NEW queue.
+			t.rejectBuf = append(t.rejectBuf, r)
+			continue
+		}
 		// Replication takes priority over admission for a contended
 		// object: otherwise a permanently-busy sole replica could
 		// never be copied (the idle interval would always be consumed
@@ -442,15 +595,26 @@ func (t *vdrTech) admit() {
 		kept = append(kept, r)
 	}
 	e.queue = kept
+	if len(t.rejectBuf) > 0 {
+		for _, r := range t.rejectBuf {
+			e.countReject(r)
+		}
+		t.rejectBuf = t.rejectBuf[:0]
+	}
 }
 
 // idleReplica returns the lowest-indexed idle cluster holding a
-// replica of id (the store keeps replica lists sorted).
+// replica of id (the store keeps replica lists sorted).  Clusters
+// with a down disk never start new displays.
 func (t *vdrTech) idleReplica(id int) (int, bool) {
 	for _, c := range t.store.Replicas(id) {
-		if t.job[c] == jobIdle {
-			return c, true
+		if t.job[c] != jobIdle {
+			continue
 		}
+		if t.clusterBad != nil && t.clusterBad[c] > 0 {
+			continue
+		}
+		return c, true
 	}
 	return 0, false
 }
@@ -473,6 +637,7 @@ func (t *vdrTech) startDisplay(r request, c int) {
 	t.setJob(c, jobDisplay, r.object, e.now+t.cfg.Subobjects)
 	t.station[c] = r.station
 	e.pinned[r.object]--
+	e.admittedTotal++
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
 }
 

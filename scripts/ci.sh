@@ -11,8 +11,11 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -short -race (quick suites + chaos harness under the race detector)"
+go test -short -race ./...
+
+echo "== go test (full suites: goldens, E18, fault integration)"
+go test ./...
 
 echo "== short benchmarks (interval engines)"
 go test -bench 'BenchmarkFigure8a$|BenchmarkTable4$' -benchmem -benchtime 3x -run '^$' .
@@ -32,6 +35,6 @@ echo "-- technique: staggered (explicit stride k=1)"
 go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
 
 echo "== perf-regression report + gate (>20% ns/op over reference fails)"
-go run ./cmd/bench -out BENCH_3.json -maxregress 0.20
+go run ./cmd/bench -out BENCH_4.json -maxregress 0.20
 
 echo "CI OK"
