@@ -1,18 +1,20 @@
 // Command bench is the performance-regression harness: it runs the
 // simulation-heavy engine benchmarks and the kernel calendar
 // microbenchmarks through testing.Benchmark, runs the scale-mode
-// sweep trajectory, and writes a machine-readable report (default
-// BENCH_4.json) with ns/op, B/op, and allocs/op next to the recorded
-// baselines.  With -maxregress it exits nonzero when any recorded
-// bench regresses past the threshold against its reference, so
-// scripts/ci.sh fails on hot-path regressions instead of logging
-// them.
+// sweep trajectory (to 1000x: 50,000 disks, 20,000 stations) plus a
+// worker-count curve at the largest factor, and writes a
+// machine-readable report (default BENCH_5.json) with ns/op, B/op,
+// and allocs/op next to the recorded baselines.  With -maxregress it
+// exits nonzero when any recorded bench regresses past the threshold
+// against its reference, so scripts/ci.sh fails on hot-path
+// regressions instead of logging them.
 //
 // Usage:
 //
-//	bench                     # write BENCH_4.json in the current directory
+//	bench                     # write BENCH_5.json in the current directory
 //	bench -out report.json
 //	bench -maxregress 0.20    # fail on >20% ns/op regression vs reference
+//	bench -workers 1,2,4,8    # worker curve measured at the largest factor
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"github.com/mmsim/staggered/internal/experiment"
@@ -39,24 +42,24 @@ var baseline = map[string]Measurement{
 }
 
 // reference is the regression gate: the engine and scale benches use
-// the numbers the previous PR's harness recorded in BENCH_3.json on
+// the numbers the previous PR's harness recorded in BENCH_4.json on
 // the CI machine; the nanosecond-scale calendar benches keep the
 // upper end of their recorded range (DESIGN.md §8: 60–110 / 20–35
 // ns/op depending on the VM's state), because single-core clock
 // drift alone exceeds 20% at that scale.  -maxregress compares
-// current ns/op against these — for this PR the gate proves the
-// fault-injection plumbing costs nothing on the fault-free hot path.
-// BenchmarkFaultRecovery is new (no reference); its BENCH_4.json
-// number becomes the next PR's gate.
+// current ns/op against these — for this PR the gate proves the SoA
+// conversion and the sharding plumbing cost nothing on the
+// sequential (workers ≤ 1) hot path.
 var reference = map[string]Measurement{
-	"BenchmarkFigure8a":         {NsPerOp: 8084973, BytesPerOp: 1066334, AllocsPerOp: 6390},
-	"BenchmarkFigure8b":         {NsPerOp: 7145205, BytesPerOp: 1043485, AllocsPerOp: 6337},
-	"BenchmarkFigure8c":         {NsPerOp: 6318202, BytesPerOp: 1028412, AllocsPerOp: 6363},
-	"BenchmarkTable4":           {NsPerOp: 15163170, BytesPerOp: 1817647, AllocsPerOp: 11371},
-	"BenchmarkStaggeredK1":      {NsPerOp: 512597459, BytesPerOp: 657578792, AllocsPerOp: 2899606},
+	"BenchmarkFigure8a":         {NsPerOp: 8459508, BytesPerOp: 1073742, AllocsPerOp: 6402},
+	"BenchmarkFigure8b":         {NsPerOp: 6850291, BytesPerOp: 1050861, AllocsPerOp: 6349},
+	"BenchmarkFigure8c":         {NsPerOp: 6572871, BytesPerOp: 1035789, AllocsPerOp: 6375},
+	"BenchmarkTable4":           {NsPerOp: 15955255, BytesPerOp: 1828971, AllocsPerOp: 11389},
+	"BenchmarkFaultRecovery":    {NsPerOp: 1247987, BytesPerOp: 276690, AllocsPerOp: 1735},
+	"BenchmarkStaggeredK1":      {NsPerOp: 40222487, BytesPerOp: 45978750, AllocsPerOp: 205805},
 	"BenchmarkCalendarSchedule": {NsPerOp: 110, BytesPerOp: 0, AllocsPerOp: 0},
 	"BenchmarkCalendarCancel":   {NsPerOp: 34, BytesPerOp: 0, AllocsPerOp: 0},
-	"BenchmarkScaleSweep":       {NsPerOp: 7112049, BytesPerOp: 12000000, AllocsPerOp: 27000},
+	"BenchmarkScaleSweep":       {NsPerOp: 8212162, BytesPerOp: 10329440, AllocsPerOp: 3780},
 }
 
 // Measurement is one benchmark's cost per operation.
@@ -78,11 +81,30 @@ type Entry struct {
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
-// Report is the BENCH_4.json document.
+// Env records the machine the report was produced on: without it the
+// worker-curve numbers are uninterpretable (a single-core box cannot
+// show multi-worker speedup no matter how good the sharding is).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the worker-count list the curve below was measured
+	// with.
+	Workers []int `json:"worker_curve,omitempty"`
+}
+
+// Report is the BENCH_5.json document.
 type Report struct {
 	Note    string                  `json:"note"`
+	Env     Env                     `json:"env"`
 	Results []Entry                 `json:"results"`
 	Scale   []experiment.ScalePoint `json:"scale_sweep,omitempty"`
+	// WorkerCurve re-runs the largest scale factor at each worker
+	// count: same simulation (identical displays), different
+	// wall-clock.  Speedup is only expected when GOMAXPROCS > 1.
+	WorkerCurve []experiment.ScalePoint `json:"worker_curve,omitempty"`
 }
 
 func benchFigure8(mean float64) func(b *testing.B) {
@@ -180,9 +202,10 @@ func main() {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_4.json", "report file")
+	out := flag.String("out", "BENCH_5.json", "report file")
 	maxRegress := flag.Float64("maxregress", 0, "fail when any recorded bench's ns/op exceeds its reference by more than this fraction (0 = report only)")
-	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100", "comma-separated scale-sweep factors; empty = skip the sweep")
+	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100,200,500,1000", "comma-separated scale-sweep factors; empty = skip the sweep")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the curve at the largest scale factor; empty = skip the curve")
 	flag.Parse()
 
 	benches := []struct {
@@ -202,6 +225,13 @@ func run() int {
 
 	report := Report{
 		Note: "engine + kernel-calendar regression harness; baseline = pre-overhaul scan-everything hot paths, reference = previous PR's recorded numbers (regression gate)",
+		Env: Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
 	}
 	failed := false
 	for _, bm := range benches {
@@ -252,10 +282,17 @@ func run() int {
 			entry.Current.AllocsPerOp, status)
 	}
 
-	if factors, err := parseFactors(*scaleFactors); err != nil {
+	factors, err := parseFactors(*scaleFactors)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 2
-	} else if len(factors) > 0 {
+	}
+	workerCounts, err := parseFactors(*workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	if len(factors) > 0 {
 		points, err := experiment.ScaleSweep(factors, 1)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -263,8 +300,30 @@ func run() int {
 		}
 		report.Scale = points
 		for _, p := range points {
-			fmt.Printf("scale %4dx  D=%-6d stations=%-6d  %8.3fs wall  %10.0f intervals/s\n",
-				p.Factor, p.D, p.Stations, p.WallSeconds, p.IntervalsSec)
+			fmt.Printf("scale %4dx  D=%-6d stations=%-6d  %8.3fs wall  %10.0f intervals/s  %8.0f ns/display\n",
+				p.Factor, p.D, p.Stations, p.WallSeconds, p.IntervalsSec, p.NsPerDisplay)
+		}
+		// Worker curve: the largest factor re-run at each worker
+		// count, sequentially so every point's pool owns the machine.
+		// The displays column must not move — only the wall clock may.
+		if len(workerCounts) > 0 {
+			report.Env.Workers = workerCounts
+			maxf := factors[0]
+			for _, f := range factors {
+				if f > maxf {
+					maxf = f
+				}
+			}
+			for _, w := range workerCounts {
+				p, err := experiment.RunScalePointOpts(maxf, 1, experiment.ScaleOptions{Workers: w})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+					return 1
+				}
+				report.WorkerCurve = append(report.WorkerCurve, p)
+				fmt.Printf("curve %4dx  workers=%-2d shards=%-3d displays=%-7d  %8.3fs wall  %8.0f ns/display\n",
+					p.Factor, w, p.Shards, p.Displays, p.WallSeconds, p.NsPerDisplay)
+			}
 		}
 	}
 

@@ -10,6 +10,7 @@
 //	sweep -scale quick            # reduced scale (seconds instead of minutes)
 //	sweep -scale 10x              # scale-mode trajectory up to 10x quick geometry
 //	sweep -scale 100x             # scale-mode trajectory up to 100x quick geometry
+//	sweep -scale 1000x -workers 4 # 1000x trajectory, sharded multi-worker engine
 //	sweep -dist 20                # one distribution only
 //	sweep -stations 16,64,128,256 # restrict the station sweep
 //	sweep -csv                    # machine-readable output
@@ -41,7 +42,7 @@ func main() {
 // run holds the program body so deferred cleanup (the profile
 // writers) executes before the process exits.
 func run() (code int) {
-	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3), quick, or a scale-mode trajectory (10x, 100x)")
+	scaleFlag := flag.String("scale", "full", "experiment scale: full (Table 3), quick, or a scale-mode trajectory (10x, 100x, 1000x)")
 	dist := flag.Float64("dist", 0, "run a single distribution mean (10, 20, or 43.5); 0 = all")
 	stationsFlag := flag.String("stations", "", "comma-separated station counts; empty = paper sweep 1..256")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -50,6 +51,7 @@ func run() (code int) {
 	stride := flag.Int("k", 0, "stride k for the staggered technique (0 = technique default)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	faultsFlag := flag.String("faults", "", "fault plan injected into every run (e.g. 'fail:7@600; slow:3@100-400; tert@0-200; wear:0-9@mttf=500,mttr=50,until=3000')")
+	workersFlag := flag.Int("workers", 0, "intra-run worker count for sharded execution (0 or 1 = sequential; results are identical at any count, DESIGN.md §11)")
 	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
 	e18Flag := flag.Bool("e18", false, "run the E18 availability experiment and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,8 +82,8 @@ func run() (code int) {
 	}
 
 	var opts *experiment.Options
-	if *faultsFlag != "" || *pressure {
-		opts = &experiment.Options{EvictionPressure: *pressure}
+	if *faultsFlag != "" || *pressure || *workersFlag > 1 {
+		opts = &experiment.Options{EvictionPressure: *pressure, Workers: *workersFlag}
 		if *faultsFlag != "" {
 			plan, err := fault.Parse(*faultsFlag)
 			if err != nil {
@@ -90,24 +92,6 @@ func run() (code int) {
 			}
 			opts.Faults = plan
 		}
-	}
-
-	scale := experiment.Full
-	switch *scaleFlag {
-	case "full":
-	case "quick":
-		scale = experiment.Quick
-	case "10x", "100x":
-		return runScaleMode(*scaleFlag, *seed, *csv)
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
-		return 2
-	}
-
-	stations, err := parseStations(*stationsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		return 2
 	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -123,6 +107,24 @@ func run() (code int) {
 			}
 		}
 	}()
+
+	scale := experiment.Full
+	switch *scaleFlag {
+	case "full":
+	case "quick":
+		scale = experiment.Quick
+	case "10x", "100x", "1000x", "1000":
+		return runScaleMode(*scaleFlag, *seed, *csv, *workersFlag)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
+		return 2
+	}
+
+	stations, err := parseStations(*stationsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 2
+	}
 
 	means := workload.PaperMeans
 	if *dist != 0 {
@@ -173,19 +175,27 @@ func run() (code int) {
 // runScaleMode runs the scale-mode trajectory instead of the paper
 // figures: quick-geometry configurations grown by successive factors
 // up to the requested ceiling, reporting wall-clock cost per point.
-func runScaleMode(mode string, seed uint64, csv bool) int {
-	factors := []int{1, 2, 5, 10}
-	if mode == "100x" {
+// With workers > 1 every point runs on the sharded multi-worker
+// engine and the factors execute one at a time so each point's pool
+// owns the machine.
+func runScaleMode(mode string, seed uint64, csv bool, workers int) int {
+	var factors []int
+	switch mode {
+	case "10x":
+		factors = []int{1, 2, 5, 10}
+	case "100x":
 		factors = []int{1, 2, 5, 10, 20, 50, 100}
+	default: // 1000x
+		factors = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
 	}
-	points, err := experiment.ScaleSweep(factors, seed)
+	points, err := experiment.ScaleSweepOpts(factors, seed, experiment.ScaleOptions{Workers: workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 1
 	}
 	if csv {
 		tbl := &metrics.Table{Header: []string{
-			"factor", "disks", "stations", "displays", "wall_seconds", "intervals_per_second",
+			"factor", "disks", "stations", "displays", "wall_seconds", "intervals_per_second", "ns_per_display", "workers", "shards",
 		}}
 		for _, p := range points {
 			tbl.AddRow(
@@ -195,16 +205,23 @@ func runScaleMode(mode string, seed uint64, csv bool) int {
 				fmt.Sprintf("%d", p.Displays),
 				fmt.Sprintf("%.4f", p.WallSeconds),
 				fmt.Sprintf("%.0f", p.IntervalsSec),
+				fmt.Sprintf("%.0f", p.NsPerDisplay),
+				fmt.Sprintf("%d", p.Workers),
+				fmt.Sprintf("%d", p.Shards),
 			)
 		}
 		fmt.Print(tbl.CSV())
 		return 0
 	}
-	fmt.Printf("Scale-mode trajectory (%s): quick geometry grown by factor\n", mode)
-	fmt.Printf("%7s %7s %9s %9s %9s %13s\n", "factor", "disks", "stations", "displays", "wall(s)", "intervals/s")
+	fmt.Printf("Scale-mode trajectory (%s): quick geometry grown by factor", mode)
+	if workers > 1 {
+		fmt.Printf(" (sharded, %d workers)", workers)
+	}
+	fmt.Println()
+	fmt.Printf("%7s %7s %9s %9s %9s %13s %13s\n", "factor", "disks", "stations", "displays", "wall(s)", "intervals/s", "ns/display")
 	for _, p := range points {
-		fmt.Printf("%7d %7d %9d %9d %9.4f %13.0f\n",
-			p.Factor, p.D, p.Stations, p.Displays, p.WallSeconds, p.IntervalsSec)
+		fmt.Printf("%7d %7d %9d %9d %9.4f %13.0f %13.0f\n",
+			p.Factor, p.D, p.Stations, p.Displays, p.WallSeconds, p.IntervalsSec, p.NsPerDisplay)
 	}
 	return 0
 }

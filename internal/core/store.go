@@ -19,6 +19,11 @@ type Store struct {
 	resident []bool
 	count    int // number of placed objects
 	cursor   int // round-robin start hint
+
+	// diff is the reusable difference-array scratch for footprint
+	// walks; fits and apply run once per Place probe, so at large D
+	// they must not allocate or touch disks outside the footprint.
+	diff []int
 }
 
 // NewStore returns a Store for the layout with the given per-disk
@@ -86,23 +91,70 @@ func (s *Store) Used(d int) int { return s.used[d] }
 // FreeFragments returns the total free fragments across the farm.
 func (s *Store) FreeFragments() int { return s.free }
 
-// fits reports whether the placement's footprint fits in the free
-// space of every disk it touches.
-func (s *Store) fits(p Placement) bool {
-	for d, c := range p.FragmentsPerDisk() {
-		if c > 0 && s.used[d]+c > s.capacity {
+// footprint walks the placement's storage footprint, calling
+// fn(disk, fragments) for every disk the object touches, and stops
+// early when fn returns false.  Subobject s occupies disks
+// (First + s·K .. + M−1) mod D, so the whole footprint lies in a
+// window of (N−1)·K + M consecutive ring positions starting at First;
+// the walk accumulates a difference array over that window (capped at
+// D) in reusable scratch, visiting O(window) disks instead of
+// materializing an O(D) per-disk slice the way FragmentsPerDisk does.
+func (s *Store) footprint(p Placement, fn func(d, c int) bool) bool {
+	d, k := p.Layout.D, p.Layout.K
+	w := (p.N-1)*k + p.M
+	if w > d {
+		w = d
+	}
+	if cap(s.diff) < w+1 {
+		s.diff = make([]int, w+1)
+	}
+	diff := s.diff[:w+1]
+	for i := range diff {
+		diff[i] = 0
+	}
+	for sub := 0; sub < p.N; sub++ {
+		// Window coordinates: subobject sub starts at offset sub·K from
+		// First.  When the window spans the whole ring the offsets wrap.
+		start := sub * k
+		if start >= w {
+			start %= d
+		}
+		end := start + p.M
+		if end <= w {
+			diff[start]++
+			diff[end]--
+		} else {
+			diff[start]++
+			diff[w]--
+			diff[0]++
+			diff[end-w]--
+		}
+	}
+	run := 0
+	for i := 0; i < w; i++ {
+		run += diff[i]
+		if run > 0 && !fn((p.First+i)%d, run) {
 			return false
 		}
 	}
 	return true
 }
 
+// fits reports whether the placement's footprint fits in the free
+// space of every disk it touches.
+func (s *Store) fits(p Placement) bool {
+	return s.footprint(p, func(d, c int) bool {
+		return s.used[d]+c <= s.capacity
+	})
+}
+
 // apply adds (sign=+1) or removes (sign=-1) the placement's footprint.
 func (s *Store) apply(p Placement, sign int) {
-	for d, c := range p.FragmentsPerDisk() {
+	s.footprint(p, func(d, c int) bool {
 		s.used[d] += sign * c
 		s.free -= sign * c
-	}
+		return true
+	})
 }
 
 // PlaceAt places object id with degree m and n subobjects starting at

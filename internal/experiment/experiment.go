@@ -17,11 +17,17 @@ import (
 )
 
 // Options extends a sweep beyond the paper's clean-room runs: a fault
-// plan injected into every configuration and the eviction-pressure
-// fallback for exact-fit farms.  The zero value is the paper's setup.
+// plan injected into every configuration, the eviction-pressure
+// fallback for exact-fit farms, and the sharded intra-run execution
+// knobs (DESIGN.md §11).  The zero value is the paper's setup.
 type Options struct {
 	Faults           *fault.Plan
 	EvictionPressure bool
+	// Workers and Shards turn on sharded intra-run execution for every
+	// run of the sweep.  Results are byte-identical at any worker
+	// count, so these only change wall-clock, never the science.
+	Workers int
+	Shards  int
 }
 
 // apply copies the options onto one run's configuration.
@@ -31,6 +37,13 @@ func (o *Options) apply(cfg *sched.Config) {
 	}
 	cfg.Faults = o.Faults
 	cfg.EvictionPressure = o.EvictionPressure
+	cfg.Workers = o.Workers
+	cfg.Shards = o.Shards
+	if o.Shards == 0 && o.Workers > 1 {
+		// Same default ScaleOptions uses: enough shards that the
+		// parallel phases have work to balance across the pool.
+		cfg.Shards = 4 * o.Workers
+	}
 }
 
 // Scale selects the experiment fidelity.

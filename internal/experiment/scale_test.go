@@ -1,6 +1,9 @@
 package experiment
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestScaleSweep100x pins the acceptance bar for the timing-wheel
 // calendar: a 100x quick-geometry point — 5000 disks, 4000 objects,
@@ -39,6 +42,80 @@ func TestScaleSweepTrajectory(t *testing.T) {
 	for i, f := range []int{1, 2, 4} {
 		if pts[i].Factor != f || pts[i].D != 50*f {
 			t.Fatalf("point %d is factor=%d D=%d, want factor=%d D=%d", i, pts[i].Factor, pts[i].D, f, 50*f)
+		}
+	}
+}
+
+// TestScaleSweep1000xGeometry pins the 1000x point's shape without
+// paying for the run: 50,000 disks and 20,000 stations, the ROADMAP
+// scale ceiling.  The run itself is exercised by cmd/bench (and
+// TestScaleSweepWorkers at 10x below).
+func TestScaleSweep1000xGeometry(t *testing.T) {
+	cfg := ScaleConfig(1000, 1)
+	if cfg.D != 50000 || cfg.Stations != 20000 || cfg.Objects != 40000 {
+		t.Fatalf("1000x geometry is D=%d stations=%d objects=%d, want 50000/20000/40000",
+			cfg.D, cfg.Stations, cfg.Objects)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("1000x config does not validate: %v", err)
+	}
+}
+
+// TestScaleSweepWorkers runs one 10x point sequentially and once with
+// the sharded multi-worker engine: the simulation outcome (displays)
+// must be identical — workers change wall-clock, never the science —
+// and the execution metadata must be recorded on the point.
+func TestScaleSweepWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker comparison is not short")
+	}
+	seq, err := RunScalePoint(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunScalePointOpts(10, 1, ScaleOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Displays != par.Displays {
+		t.Fatalf("worker count changed the simulation: sequential %d displays, workers=4 %d displays",
+			seq.Displays, par.Displays)
+	}
+	if par.Workers != 4 || par.Shards != 16 {
+		t.Fatalf("point metadata is workers=%d shards=%d, want 4/16 (Shards defaults to 4×Workers)",
+			par.Workers, par.Shards)
+	}
+	if seq.Workers != 0 || seq.Shards != 0 {
+		t.Fatalf("sequential point metadata is workers=%d shards=%d, want 0/0", seq.Workers, seq.Shards)
+	}
+	if seq.NsPerDisplay <= 0 || par.NsPerDisplay <= 0 {
+		t.Fatalf("ns/display not recorded: seq %v, par %v", seq.NsPerDisplay, par.NsPerDisplay)
+	}
+}
+
+// TestScaleSweepParallelMatchesSequential checks the pooled
+// multi-factor sweep returns the same simulation results as running
+// the points one by one (wall-clock fields aside).
+func TestScaleSweepParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison is not short")
+	}
+	factors := []int{1, 2, 3, 4}
+	pooled, err := ScaleSweep(factors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range factors {
+		p, err := RunScalePoint(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := pooled[i], p
+		got.WallSeconds, want.WallSeconds = 0, 0
+		got.IntervalsSec, want.IntervalsSec = 0, 0
+		got.NsPerDisplay, want.NsPerDisplay = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pooled point %d diverged:\n  pooled:     %+v\n  sequential: %+v", i, got, want)
 		}
 	}
 }

@@ -32,7 +32,7 @@ type desval struct {
 	tman   *tertiary.Manager
 	gen    *workload.Generator
 
-	vbusy []int
+	vbusy []int32
 
 	queue  []desreq
 	pinned map[int]int
@@ -89,7 +89,7 @@ func RunDESValidation(cfg Config) (int, error) {
 		lfu:    policy.NewLFU(),
 		tman:   tertiary.NewManager(),
 		gen:    gen,
-		vbusy:  make([]int, cfg.D),
+		vbusy:  make([]int32, cfg.D),
 		pinned: make(map[int]int),
 		active: make(map[int]int),
 		ready:  make(map[int]bool),
@@ -290,7 +290,7 @@ func (e *desval) admit() {
 		// release and the station's completion.
 		r := r
 		for _, v := range vids {
-			e.vbusy[v] = r.station // owner tag; only used for assertions
+			e.vbusy[v] = int32(r.station) // owner tag; only used for assertions
 		}
 		e.active[r.object]++
 		e.pinned[r.object]--

@@ -79,7 +79,11 @@ type Engine struct {
 	tman  *tertiary.Manager
 	gen   *workload.Generator
 	stn   *workload.Stations
-	think []*rng.Stream // per-station think-time streams
+	think []rng.Stream // per-station think-time streams (dense, sequential path)
+
+	// Sharded execution (nil on the default sequential path).
+	shards *shardSet
+	pool   *workerPool // live only inside Run when Workers > 1
 
 	queue        []request
 	queueScratch []request
@@ -150,11 +154,14 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 		pinned:  make([]int, cfg.Objects),
 		wakeups: sim.NewTickWheel[int](),
 	}
-	if cfg.ThinkMeanSeconds > 0 {
+	if cfg.Shards > 1 {
+		e.shards = newShardSet(cfg.Seed, cfg.Stations, cfg.Shards)
+	}
+	if cfg.ThinkMeanSeconds > 0 && e.shards == nil {
 		src := rng.NewSource(cfg.Seed)
-		e.think = make([]*rng.Stream, cfg.Stations)
+		e.think = make([]rng.Stream, cfg.Stations)
 		for i := range e.think {
-			e.think[i] = src.StreamN("think", i)
+			e.think[i] = *src.StreamN("think", i)
 		}
 	}
 	if !cfg.Faults.Empty() {
@@ -169,6 +176,29 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 	return e, nil
 }
 
+// parallel runs fn(i) for every i in [0, n) — on the worker pool when
+// one is active, inline otherwise.  fn must only write state owned by
+// index i.  Techniques use it for read-only pre-passes (the striped
+// admission annotations, DESIGN.md §11) that fill per-index buffers a
+// sequential consumer then re-validates.
+func (e *Engine) parallel(n int, fn func(i int)) {
+	if e.pool != nil {
+		e.pool.run(n, fn)
+		return
+	}
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// workers returns the effective intra-run worker count.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 1 {
+		return e.cfg.Workers
+	}
+	return 1
+}
+
 // Config returns the configuration the engine runs.
 func (e *Engine) Config() Config { return e.cfg }
 
@@ -178,7 +208,14 @@ func (e *Engine) TechniqueName() string { return e.tech.name() }
 // enqueue issues a new reference for station s.
 func (e *Engine) enqueue(s int) {
 	r := e.stn.Issue(s, float64(e.now)*e.cfg.IntervalSeconds())
-	req := request{station: r.Station, object: r.Object, arrived: e.now}
+	e.record(request{station: r.Station, object: r.Object, arrived: e.now})
+}
+
+// record admits a drawn reference into the engine: queue, pin count,
+// LFU touch, trace event, technique notification.  It is the merge
+// step of the sharded drain and the tail of the sequential enqueue,
+// and always runs on the interval goroutine.
+func (e *Engine) record(req request) {
 	e.requests++
 	e.queue = append(e.queue, req)
 	e.pinned[req.object]++
@@ -188,10 +225,23 @@ func (e *Engine) enqueue(s int) {
 }
 
 // reissue starts station s's next request, after its think time when
-// one is configured.
+// one is configured.  In sharded mode the think draw comes from the
+// owning shard's stream and the wake-up lands on that shard's wheel;
+// reissue is only ever called from the sequential phases (merge,
+// interval), so the draw order per shard stream is deterministic.
 func (e *Engine) reissue(s int) {
 	if e.cfg.ThinkMeanSeconds <= 0 {
 		e.enqueue(s)
+		return
+	}
+	if e.shards != nil {
+		sh := e.shards.shardOf[s]
+		secs := e.shards.think[sh].Exp(e.cfg.ThinkMeanSeconds)
+		delay := int(secs / e.cfg.IntervalSeconds())
+		if delay < 1 {
+			delay = 1
+		}
+		e.shards.wheels[sh].Add(e.now+delay, s)
 		return
 	}
 	secs := e.think[s].Exp(e.cfg.ThinkMeanSeconds)
@@ -210,12 +260,47 @@ func (e *Engine) step() {
 	if e.faultEvents != nil {
 		e.applyFaults()
 	}
-	e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
-	for _, st := range e.wakeupBuf {
-		e.enqueue(st)
+	if e.shards != nil {
+		e.drainShards()
+	} else {
+		e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
+		for _, st := range e.wakeupBuf {
+			e.enqueue(st)
+		}
 	}
 	e.busyArea += float64(e.tech.interval())
 	e.now++
+}
+
+// drainShards runs the station-side work of the interval
+// shard-parallel — advance each shard's wake-up wheel and draw the
+// next reference of every woken station — then merges the issued
+// references into the engine in ascending shard order.  The drains
+// write only shard-local state (wheel, buffers, the woken stations'
+// busy flags and generator streams), so any worker interleaving
+// produces the same per-shard pend buffers and the sequential merge
+// makes the outcome worker-count independent.
+func (e *Engine) drainShards() {
+	if e.cfg.ThinkMeanSeconds <= 0 {
+		// Zero think time: reissue enqueues directly and the wheels
+		// never hold anything — skipping the drain keeps sharded
+		// zero-think runs decision-identical to the sequential path.
+		return
+	}
+	now := e.now
+	t := float64(now) * e.cfg.IntervalSeconds()
+	ss := e.shards
+	e.parallel(ss.n, func(s int) {
+		ss.drain(s, now, e.stn, t)
+	})
+	issued := 0
+	for s := 0; s < ss.n; s++ {
+		for _, r := range ss.pend[s] {
+			e.record(request{station: r.Station, object: r.Object, arrived: now})
+		}
+		issued += len(ss.pend[s])
+	}
+	e.stn.AddIssued(issued)
 }
 
 // applyFaults drains plan events due at or before the current
@@ -320,6 +405,13 @@ func (e *Engine) countStarved(object int) {
 func (e *Engine) Run() Result {
 	if e.now != 0 {
 		panic("sched: Run called twice")
+	}
+	if w := e.workers(); w > 1 {
+		e.pool = newWorkerPool(w - 1) // the interval goroutine works too
+		defer func() {
+			e.pool.close()
+			e.pool = nil
+		}()
 	}
 	for s := 0; s < e.cfg.Stations; s++ {
 		e.enqueue(s)

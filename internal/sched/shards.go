@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
+	"github.com/mmsim/staggered/internal/workload"
+)
+
+// shardSet partitions the stations into contiguous blocks, each with
+// its own wake-up wheel, think-time stream, and per-interval issue
+// buffer, so the station-side work of an interval (wheel drain +
+// reference draws) can run on the worker pool with no shared writes.
+// Everything a shard produces is merged into the engine sequentially
+// in ascending shard order, which — together with shard-local RNG
+// streams split off the run seed — makes results byte-identical at any
+// worker count (DESIGN.md §11).
+type shardSet struct {
+	n      int
+	bounds []int // shard s owns stations [bounds[s], bounds[s+1])
+
+	wheels  []*sim.TickWheel[int] // per-shard wake-up wheels
+	think   []rng.Stream          // per-shard think-time streams, NewStream(seed, shard)
+	wakeBuf [][]int               // per-shard reused Due drain buffers
+	pend    [][]workload.Request  // per-shard issued references, drained by the merge
+
+	shardOf []int32 // station -> owning shard
+}
+
+// newShardSet splits stations into shards blocks as evenly as
+// possible (the first stations%shards blocks get one extra station).
+// shards is clamped to stations so every shard is non-empty.
+func newShardSet(seed uint64, stations, shards int) *shardSet {
+	if shards > stations {
+		shards = stations
+	}
+	ss := &shardSet{
+		n:       shards,
+		bounds:  make([]int, shards+1),
+		wheels:  make([]*sim.TickWheel[int], shards),
+		think:   make([]rng.Stream, shards),
+		wakeBuf: make([][]int, shards),
+		pend:    make([][]workload.Request, shards),
+		shardOf: make([]int32, stations),
+	}
+	q, r := stations/shards, stations%shards
+	at := 0
+	for s := 0; s < shards; s++ {
+		ss.bounds[s] = at
+		at += q
+		if s < r {
+			at++
+		}
+		ss.wheels[s] = sim.NewTickWheel[int]()
+		ss.think[s] = *rng.NewStream(seed, uint64(s))
+	}
+	ss.bounds[shards] = at
+	for s := 0; s < shards; s++ {
+		for st := ss.bounds[s]; st < ss.bounds[s+1]; st++ {
+			ss.shardOf[st] = int32(s)
+		}
+	}
+	return ss
+}
+
+// drain advances shard s's wheel to tick and issues the next reference
+// of every woken station into the shard's pend buffer.  It touches
+// only shard-local state plus the woken stations' busy flags and
+// generator streams — each owned by exactly this shard — so drains of
+// distinct shards are race-free.
+func (ss *shardSet) drain(s, tick int, stn *workload.Stations, t float64) {
+	ss.wakeBuf[s] = ss.wheels[s].Due(tick, ss.wakeBuf[s][:0])
+	ss.pend[s] = ss.pend[s][:0]
+	for _, st := range ss.wakeBuf[s] {
+		ss.pend[s] = append(ss.pend[s], stn.IssueSharded(st, t))
+	}
+}

@@ -8,39 +8,11 @@ import (
 	"github.com/mmsim/staggered/internal/vdisk"
 )
 
-// stream is one fragment stream of an active display: the global
-// virtual disk serving it and its alignment delay T_i relative to the
-// admission interval.
-type stream struct {
-	vdisk int
-	t     int
-}
-
-// display is an active delivery.
-type display struct {
-	id      int
-	station int
-	object  int
-	first   int // disk of the object's fragment (0,0)
-	tau0    int // admission interval
-	tmax    int
-	done    bool // delivery completed or aborted
-	streams []stream
-
-	// Degraded-mode state: how many consecutive intervals a fault has
-	// touched this display, and the last such interval.
-	degraded   int
-	degradedAt int
-}
-
-// deliveryEnd returns the interval during which the last subobject is
-// delivered.
-func (d *display) deliveryEnd(n int) int { return d.tau0 + d.tmax + n - 1 }
-
-// streamRef addresses one stream of a display inside an event bucket.
+// streamRef addresses one fragment stream of a display inside an
+// event bucket: the display's arena slot and the stream index.
 type streamRef struct {
-	d *display
-	i int
+	slot int32
+	i    int32
 }
 
 // stripedTech is the striping family's Technique: simple striping
@@ -59,17 +31,44 @@ type streamRef struct {
 // coalesce are visited by Algorithm 2.  An interval in which nothing
 // happens costs O(1), independent of D, the number of active
 // displays, and the queue length.
+//
+// Display state is a struct-of-arrays arena (DESIGN.md §11): a display
+// is an int32 slot into parallel slices (dStation, dObject, …) and a
+// fixed-stride stream arena (sVdisk, sT), not a heap object.  At 20k
+// stations that removes per-display allocation and pointer chasing
+// from the hot path, and lets event buckets and the occupancy table
+// hold 4-byte slots instead of 8-byte pointers.  Slots of contiguous
+// (tmax = 0) displays are recycled LIFO after completion; fragmented
+// and aborted displays keep their slots, exactly as the old pool kept
+// their heap objects, because stale ring entries may still address
+// them.
 type stripedTech struct {
 	eng    *Engine
 	cfg    Config
 	layout core.Layout
 	store  *core.Store
 
-	vbusy []int      // virtual disk -> owner display id, matOwner, or freeSlot
-	vdisp []*display // virtual disk -> owning display (nil for free/matOwner)
-	busy  int        // count of non-free virtual disks, maintained incrementally
+	vbusy []int32 // virtual disk -> owner display slot, matOwner, or freeSlot
+	busy  int     // count of non-free virtual disks, maintained incrementally
 
-	nextID   int
+	// Display arena.  Slot s's stream i lives at s·stride+i in the
+	// stream arena; stride is the maximum degree of declustering.
+	dStation []int32
+	dObject  []int32
+	dFirst   []int32 // disk of the object's fragment (0,0)
+	dTau0    []int32 // admission interval
+	dTmax    []int32
+	dSeq     []int32 // admission sequence, monotone across slot reuse
+	dM       []int32 // stream count (the object's degree)
+	dDone    []bool  // delivery completed or aborted
+	dDeg     []int32 // consecutive degraded intervals
+	dDegAt   []int32 // last degraded interval, -2 = never
+	sVdisk    []int32 // stream -> serving virtual disk, -1 released
+	sT        []int32 // stream -> alignment delay T_i
+	stride    int
+	minDegree int // smallest degree any object needs; prepare's farm gate
+
+	nextSeq  int32
 	active   int   // displays currently in delivery
 	byObject []int // object -> active display count
 
@@ -89,9 +88,22 @@ type stripedTech struct {
 	// display's current state.
 	horizon     int
 	releases    [][]streamRef // stream releases due, by interval mod horizon
-	completions [][]*display  // delivery ends, by interval mod horizon
-	coalescing  []*display    // displays with a stream still to coalesce
-	pool        []*display    // recycled contiguous displays
+	completions [][]int32     // delivery ends (display slots), by interval mod horizon
+	coalescing  []int32       // displays with a stream still to coalesce
+	pool        []int32       // recycled contiguous display slots
+
+	// Admission pre-pass annotations (DESIGN.md §11): per queue index,
+	// computed worker-parallel by prepare at the top of admit and
+	// consulted by the sequential scan that follows.  Annotations are
+	// pure reads of state that cannot change between the two (queued
+	// objects are pin-protected from eviction; virtual-disk numbering
+	// is fixed within an interval); the scan still re-validates every
+	// occupancy and readiness check before committing.
+	annEpoch int // interval the annotations were computed at, -1 = none
+	annLen   int // annotated queue prefix length
+	ann      []int8
+	annFirst []int32
+	annVids  []int32 // qi·stride+j -> virtual disk of contiguous stream j
 
 	// Reusable scratch buffers (hot path, zero steady-state allocs).
 	vidScratch  []int
@@ -111,8 +123,17 @@ type stripedTech struct {
 }
 
 const (
-	freeSlot = -1
-	matOwner = -2
+	freeSlot int32 = -1
+	matOwner int32 = -2
+)
+
+// Annotation states of the admission pre-pass.
+const (
+	annNone     int8 = iota // not annotated: inline path
+	annNotReady             // object not ready at prepare time
+	annOther                // ready but placement probe failed: inline path
+	annReady                // ready, placed, contiguous disks free; annFirst/annVids hold the probe
+	annBlocked              // ready, placed, but a contiguous disk is busy: only the fragmented fallback can start it
 )
 
 // Striped is the striping-family engine (simple striping is the
@@ -141,10 +162,14 @@ func (t *stripedTech) bind(e *Engine) error {
 	if err != nil {
 		return err
 	}
-	maxDegree := cfg.M
+	maxDegree, minDegree := cfg.M, cfg.M
 	for id := 0; id < cfg.Objects; id++ {
-		if m := cfg.Degree(id); m > maxDegree {
+		m := cfg.Degree(id)
+		if m > maxDegree {
 			maxDegree = m
+		}
+		if m < minDegree {
+			minDegree = m
 		}
 	}
 	// Every release and completion is scheduled at most one display
@@ -159,8 +184,7 @@ func (t *stripedTech) bind(e *Engine) error {
 	t.cfg = cfg
 	t.layout = layout
 	t.store = st
-	t.vbusy = make([]int, cfg.D)
-	t.vdisp = make([]*display, cfg.D)
+	t.vbusy = make([]int32, cfg.D)
 	t.byObject = make([]int, cfg.Objects)
 	t.ready = make([]bool, cfg.Objects)
 	t.playEpoch = make([]int, cfg.Objects)
@@ -170,11 +194,14 @@ func (t *stripedTech) bind(e *Engine) error {
 	}
 	t.horizon = horizon
 	t.releases = make([][]streamRef, horizon)
-	t.completions = make([][]*display, horizon)
+	t.completions = make([][]int32, horizon)
+	t.stride = maxDegree
+	t.minDegree = minDegree
 	t.vidScratch = make([]int, maxDegree)
 	t.tsScratch = make([]int, maxDegree)
 	t.zeroTs = make([]int, maxDegree)
 	t.matObject = -1
+	t.annEpoch = -1
 	for i := range t.vbusy {
 		t.vbusy[i] = freeSlot
 	}
@@ -258,20 +285,20 @@ func (t *stripedTech) degradedScan() {
 			}
 			continue
 		}
-		d := t.vdisp[v]
-		if d == nil || d.done {
+		d := owner
+		if t.dDone[d] {
 			continue
 		}
-		if d.degradedAt == e.now {
+		if int(t.dDegAt[d]) == e.now {
 			continue // two faulted streams in one interval count once
 		}
-		if d.degradedAt != e.now-1 {
-			d.degraded = 0 // the previous degraded run ended; resync
+		if int(t.dDegAt[d]) != e.now-1 {
+			t.dDeg[d] = 0 // the previous degraded run ended; resync
 		}
-		d.degradedAt = e.now
-		d.degraded++
+		t.dDegAt[d] = int32(e.now)
+		t.dDeg[d]++
 		e.degHiccups++
-		if down && d.degraded > e.hiccupLimit {
+		if down && int(t.dDeg[d]) > e.hiccupLimit {
 			t.abortDisplay(d)
 		}
 	}
@@ -280,19 +307,19 @@ func (t *stripedTech) degradedScan() {
 // abortDisplay kills an in-flight display: all stream claims release
 // immediately, pending ring entries go stale (consumers revalidate),
 // and the station rejoins the closed loop through the abort path.
-// The display is never pooled — stale refs may still address it.
-func (t *stripedTech) abortDisplay(d *display) {
-	for i := range d.streams {
-		s := &d.streams[i]
-		if s.vdisk >= 0 {
-			t.setVBusy(s.vdisk, freeSlot, nil)
-			s.vdisk = -1
+// The slot is never pooled — stale refs may still address it.
+func (t *stripedTech) abortDisplay(d int32) {
+	base := int(d) * t.stride
+	for i := 0; i < int(t.dM[d]); i++ {
+		if v := t.sVdisk[base+i]; v >= 0 {
+			t.setVBusy(int(v), freeSlot)
+			t.sVdisk[base+i] = -1
 		}
 	}
-	d.done = true
+	t.dDone[d] = true
 	t.active--
-	t.byObject[d.object]--
-	t.eng.countAbort(d.station, d.object)
+	t.byObject[t.dObject[d]]--
+	t.eng.countAbort(int(t.dStation[d]), int(t.dObject[d]))
 }
 
 // abortStaging abandons the pending or in-flight materialization: the
@@ -301,7 +328,7 @@ func (t *stripedTech) abortDisplay(d *display) {
 // wanting the object re-request it on their next admission scan).
 func (t *stripedTech) abortStaging() {
 	for _, v := range t.matVdisks {
-		t.setVBusy(v, freeSlot, nil)
+		t.setVBusy(v, freeSlot)
 	}
 	t.matVdisks = t.matVdisks[:0]
 	if t.matStarted && t.store.Resident(t.matObject) {
@@ -374,10 +401,10 @@ func (t *stripedTech) vdiskOf(f int) int {
 
 // setVBusy transfers ownership of virtual disk v and maintains the
 // farm-busy counter — the incremental replacement for the per-interval
-// O(D) occupancy scan.  d is the owning display (nil for free or
-// materialization claims), kept in a parallel table so the degraded
-// scan can walk from a faulted physical disk to the display it hurts.
-func (t *stripedTech) setVBusy(v, owner int, d *display) {
+// O(D) occupancy scan.  The owner is a display slot (or matOwner /
+// freeSlot), so the degraded scan can walk from a faulted physical
+// disk straight to the display it hurts.
+func (t *stripedTech) setVBusy(v int, owner int32) {
 	if (t.vbusy[v] == freeSlot) != (owner == freeSlot) {
 		if owner == freeSlot {
 			t.busy--
@@ -386,7 +413,31 @@ func (t *stripedTech) setVBusy(v, owner int, d *display) {
 		}
 	}
 	t.vbusy[v] = owner
-	t.vdisp[v] = d
+}
+
+// allocSlot returns a display slot: a recycled contiguous slot when
+// one is pooled, a fresh arena extension otherwise.
+func (t *stripedTech) allocSlot() int32 {
+	if k := len(t.pool); k > 0 {
+		s := t.pool[k-1]
+		t.pool = t.pool[:k-1]
+		return s
+	}
+	t.dStation = append(t.dStation, 0)
+	t.dObject = append(t.dObject, 0)
+	t.dFirst = append(t.dFirst, 0)
+	t.dTau0 = append(t.dTau0, 0)
+	t.dTmax = append(t.dTmax, 0)
+	t.dSeq = append(t.dSeq, 0)
+	t.dM = append(t.dM, 0)
+	t.dDone = append(t.dDone, false)
+	t.dDeg = append(t.dDeg, 0)
+	t.dDegAt = append(t.dDegAt, -2)
+	for i := 0; i < t.stride; i++ {
+		t.sVdisk = append(t.sVdisk, -1)
+		t.sT = append(t.sT, 0)
+	}
+	return int32(len(t.dStation) - 1)
 }
 
 // finishDue releases stream disks whose reads end this interval and
@@ -402,45 +453,47 @@ func (t *stripedTech) finishDue() {
 		// Coalescing reschedules releases out of admission order;
 		// restore (display, stream) order so hiccup accounting matches
 		// a full in-order scan.  Insertion sort: buckets are tiny and
-		// already sorted unless a coalescing fired.
+		// already sorted unless a coalescing fired.  Keyed by the
+		// admission sequence, not the slot — slots recycle.
 		for a := 1; a < len(refs); a++ {
-			for b := a; b > 0 && (refs[b].d.id < refs[b-1].d.id ||
-				(refs[b].d.id == refs[b-1].d.id && refs[b].i < refs[b-1].i)); b-- {
+			for b := a; b > 0 && (t.dSeq[refs[b].slot] < t.dSeq[refs[b-1].slot] ||
+				(t.dSeq[refs[b].slot] == t.dSeq[refs[b-1].slot] && refs[b].i < refs[b-1].i)); b-- {
 				refs[b], refs[b-1] = refs[b-1], refs[b]
 			}
 		}
 		for _, ref := range refs {
-			d := ref.d
-			s := &d.streams[ref.i]
-			if s.vdisk < 0 || e.now != d.tau0+s.t+n {
+			d := ref.slot
+			si := int(d)*t.stride + int(ref.i)
+			v := t.sVdisk[si]
+			if v < 0 || e.now != int(t.dTau0[d])+int(t.sT[si])+n {
 				continue // stale: already released or rescheduled
 			}
-			if t.vbusy[s.vdisk] != d.id {
+			if t.vbusy[v] != d {
 				e.hiccups++
 			}
-			t.setVBusy(s.vdisk, freeSlot, nil)
-			s.vdisk = -1 // released
+			t.setVBusy(int(v), freeSlot)
+			t.sVdisk[si] = -1 // released
 		}
 	}
 	if ds := t.completions[slot]; len(ds) > 0 {
 		t.completions[slot] = ds[:0]
 		reissue := e.reissueBuf[:0]
 		for _, d := range ds {
-			if d.done {
+			if t.dDone[d] {
 				continue // aborted by a fault; the abort path settled it
 			}
-			d.done = true
+			t.dDone[d] = true
 			t.active--
 			e.completed++
 			e.completedTotal++
-			e.emit(EvComplete, d.object, d.station, "")
-			t.byObject[d.object]--
-			e.stn.Complete(d.station)
-			reissue = append(reissue, d.station)
+			e.emit(EvComplete, int(t.dObject[d]), int(t.dStation[d]), "")
+			t.byObject[t.dObject[d]]--
+			e.stn.Complete(int(t.dStation[d]))
+			reissue = append(reissue, int(t.dStation[d]))
 			// Contiguous displays are unreachable once completed (all
 			// release refs fired earlier this interval or before, and
-			// they never join the coalescing list) — recycle them.
-			if d.tmax == 0 {
+			// they never join the coalescing list) — recycle the slot.
+			if t.dTmax[d] == 0 {
 				t.pool = append(t.pool, d)
 			}
 		}
@@ -499,7 +552,7 @@ func (t *stripedTech) stepTertiary() {
 		vids[j] = v
 	}
 	for _, v := range vids {
-		t.setVBusy(v, matOwner, nil)
+		t.setVBusy(v, matOwner)
 	}
 	t.matVdisks = append(t.matVdisks[:0], vids...)
 	t.matStarted = true
@@ -596,7 +649,7 @@ func (t *stripedTech) finishMaterialization() {
 	e.emit(EvMatEnd, t.matObject, -1, "")
 	t.ready[t.matObject] = true
 	for _, v := range t.matVdisks {
-		t.setVBusy(v, freeSlot, nil)
+		t.setVBusy(v, freeSlot)
 	}
 	t.matVdisks = t.matVdisks[:0]
 	t.matObject = -1
@@ -657,20 +710,173 @@ func (t *stripedTech) evictable(id int) bool {
 // run the (O(free disks × M)) Algorithm-1 search in one interval.
 const fragmentedAttemptsPerInterval = 8
 
+// prepare runs the read-only half of the admission scan
+// worker-parallel, invoked by admit after stream releases and the
+// tertiary step so it sees the interval's final occupancy and
+// readiness: per queued request, the ready check, the placement
+// lookup, and the virtual-disk numbers of a contiguous admission this
+// interval.  admit then only probes occupancy and commits.  The
+// annotations cannot go stale between prepare and the scan — a queued
+// object is pin-protected from eviction and re-placement, and vdiskOf
+// depends only on the interval number.  Two situations skip the
+// pre-pass and fall back to the inline scan: fault-active intervals
+// (playability would need the sequential memo) and a farm too full to
+// admit even the smallest object — the common case in a saturated
+// closed system, where annotating a 10k-entry queue nobody can join
+// would be pure overhead.
+func (t *stripedTech) prepare() {
+	e := t.eng
+	t.annEpoch = -1
+	// The pre-pass trades one sequential admission scan for a parallel
+	// annotation pass plus a cheaper scan — a win only when the chunks
+	// actually run concurrently.  On a single-proc run (pool.concurrent
+	// false) it is pure overhead, so skip it; the inline scan computes
+	// the identical decisions.
+	if e.pool == nil || !e.pool.concurrent || e.faultActive() || len(e.queue) == 0 {
+		return
+	}
+	free := t.cfg.D - t.busy
+	if free < t.minDegree {
+		return
+	}
+	q := e.queue
+	n := len(q)
+	if cap(t.ann) < n {
+		t.ann = make([]int8, n)
+		t.annFirst = make([]int32, n)
+		t.annVids = make([]int32, n*t.stride)
+	}
+	t.ann = t.ann[:n]
+	t.annFirst = t.annFirst[:n]
+	t.annVids = t.annVids[:n*t.stride]
+	// Over-chunk relative to the worker count so uneven entries (mixed
+	// degrees, cold objects) self-balance on the pool's shared cursor.
+	chunks := e.workers() * 4
+	if chunks > n {
+		chunks = n
+	}
+	per := (n + chunks - 1) / chunks
+	e.parallel(chunks, func(c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		for qi := lo; qi < hi; qi++ {
+			r := q[qi]
+			if !t.ready[r.object] {
+				t.ann[qi] = annNotReady
+				continue
+			}
+			p, ok := t.store.Placement(r.object)
+			if !ok {
+				t.ann[qi] = annOther
+				continue
+			}
+			m := t.cfg.Degree(r.object)
+			if m > free {
+				// More streams than the farm has free at scan start:
+				// occupancy only shrinks during the scan, so this entry
+				// cannot be admitted — don't compute its disks.
+				t.ann[qi] = annOther
+				continue
+			}
+			// Run the contiguous probe here against the frozen occupancy,
+			// with the same early break the inline probe uses.  vbusy
+			// does not change until the sequential scan commits
+			// admissions, and the scan only makes disks busier — so a
+			// probe refuted now stays refuted, and annBlocked entries
+			// skip the re-probe entirely.
+			t.annFirst[qi] = int32(p.First)
+			base := qi * t.stride
+			blocked := false
+			for j := 0; j < m; j++ {
+				v := t.vdiskOf((p.First + j) % t.cfg.D)
+				if t.vbusy[v] != freeSlot {
+					blocked = true
+					break
+				}
+				t.annVids[base+j] = int32(v)
+			}
+			if blocked {
+				t.ann[qi] = annBlocked
+				continue
+			}
+			t.ann[qi] = annReady
+		}
+	})
+	t.annEpoch = e.now
+	t.annLen = n
+}
+
 // admit scans the queue in arrival order and starts every display
 // whose disks are free, per §3.1's use of idle time intervals for new
 // requests.  Non-resident objects are routed to the tertiary manager.
 // With FCFSStrict the scan stops at the first request that cannot
 // start (head-of-line blocking).  A request whose object needs more
 // disks than the whole farm has free is skipped without probing.
+// When prepare annotated the queue this interval, annotated entries
+// take the pre-computed fast path; entries past the annotated prefix
+// (enqueued by this interval's completions) and entries whose
+// annotation went stale run the original inline logic.
 func (t *stripedTech) admit() {
 	e := t.eng
 	if len(e.queue) == 0 {
 		return
 	}
+	t.prepare()
+	annotated := t.annEpoch == e.now
 	kept := e.queueScratch[:0]
 	fragBudget := fragmentedAttemptsPerInterval
+scan:
 	for qi, r := range e.queue {
+		if annotated && qi < t.annLen {
+			switch t.ann[qi] {
+			case annNotReady:
+				if t.ready[r.object] {
+					break // defensive: annotation contradicts live state — go inline
+				}
+				e.tman.Request(r.object)
+				kept = append(kept, r)
+				if t.cfg.FCFSStrict {
+					kept = append(kept, e.queue[qi+1:]...)
+					break scan
+				}
+				continue
+			case annReady:
+				// Still ready and still at annFirst: queued objects are
+				// pin-protected from eviction, so only the occupancy
+				// probes need fresh answers.
+				if t.cfg.D-t.busy >= t.cfg.Degree(r.object) && t.tryAdmitAnn(r, qi, &fragBudget) {
+					e.pinned[r.object]--
+					continue
+				}
+				kept = append(kept, r)
+				if t.cfg.FCFSStrict {
+					kept = append(kept, e.queue[qi+1:]...)
+					break scan
+				}
+				continue
+			case annBlocked:
+				// The contiguous probe was refuted against the frozen
+				// occupancy and disks only get busier during the scan,
+				// so skip it; the fragmented fallback (which reads the
+				// live free set) is the only remaining way in — exactly
+				// what the inline probe would have reached.
+				if t.cfg.D-t.busy >= t.cfg.Degree(r.object) &&
+					t.tryFragmented(r, int(t.annFirst[qi]), t.cfg.Degree(r.object), &fragBudget) {
+					e.pinned[r.object]--
+					continue
+				}
+				kept = append(kept, r)
+				if t.cfg.FCFSStrict {
+					kept = append(kept, e.queue[qi+1:]...)
+					break scan
+				}
+				continue
+			}
+			// annOther: fall through to the inline path.
+		}
 		if !t.ready[r.object] {
 			e.tman.Request(r.object)
 			kept = append(kept, r)
@@ -737,14 +943,43 @@ func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) boo
 		vids[j] = v
 	}
 	if okContig {
-		t.start(r, p, vids, t.zeroTs[:m], 0)
+		t.start(r, p.First, vids, t.zeroTs[:m], 0)
 		return true
 	}
+	return t.tryFragmented(r, p.First, m, fragBudget)
+}
+
+// tryAdmitAnn is tryAdmit on a pre-annotated entry: the contiguous
+// virtual-disk numbers were computed by prepare, so only the vbusy
+// probes run here, in the same order with the same answers the inline
+// probe would produce.
+func (t *stripedTech) tryAdmitAnn(r request, qi int, fragBudget *int) bool {
+	m := t.cfg.Degree(r.object)
+	base := qi * t.stride
+	vids := t.vidScratch[:m]
+	okContig := true
+	for j := 0; j < m; j++ {
+		v := int(t.annVids[base+j])
+		if t.vbusy[v] != freeSlot {
+			okContig = false
+			break
+		}
+		vids[j] = v
+	}
+	if okContig {
+		t.start(r, int(t.annFirst[qi]), vids, t.zeroTs[:m], 0)
+		return true
+	}
+	return t.tryFragmented(r, int(t.annFirst[qi]), m, fragBudget)
+}
+
+// tryFragmented runs the Algorithm-1 time-fragmented admission over
+// all currently free disks.
+func (t *stripedTech) tryFragmented(r request, first, m int, fragBudget *int) bool {
 	if !t.cfg.Fragmented || *fragBudget <= 0 {
 		return false
 	}
 	*fragBudget--
-	// Time-fragmented admission over all currently free disks.
 	free := t.freeScratch[:0]
 	for v, o := range t.vbusy {
 		if o == freeSlot {
@@ -752,7 +987,7 @@ func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) boo
 		}
 	}
 	t.freeScratch = free[:0]
-	a, ok := vdisk.ChooseVirtualDisks(t.cfg.D, t.cfg.K, p.First, m, free)
+	a, ok := vdisk.ChooseVirtualDisks(t.cfg.D, t.cfg.K, first, m, free)
 	if !ok {
 		return false
 	}
@@ -774,49 +1009,39 @@ func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) boo
 		gvids[i] = t.vdiskOf(z)
 		ts[i] = a.T[i]
 	}
-	t.start(r, p, gvids, ts, a.Tmax)
+	t.start(r, first, gvids, ts, a.Tmax)
 	return true
 }
 
 // start activates a display on the given virtual disks and schedules
 // its future events: one release per stream and one completion.
-func (t *stripedTech) start(r request, p core.Placement, vids, ts []int, tmax int) {
+func (t *stripedTech) start(r request, first int, vids, ts []int, tmax int) {
 	e := t.eng
 	n := t.cfg.Subobjects
-	var d *display
-	if k := len(t.pool); k > 0 {
-		d = t.pool[k-1]
-		t.pool = t.pool[:k-1]
-	} else {
-		d = new(display)
-	}
-	streams := d.streams
-	if cap(streams) < len(vids) {
-		streams = make([]stream, len(vids))
-	} else {
-		streams = streams[:len(vids)]
-	}
-	*d = display{
-		id:         t.nextID,
-		station:    r.station,
-		object:     r.object,
-		first:      p.First,
-		tau0:       e.now,
-		tmax:       tmax,
-		streams:    streams,
-		degradedAt: -2, // never degraded: -2 is adjacent to no interval
-	}
-	t.nextID++
+	d := t.allocSlot()
+	t.dSeq[d] = t.nextSeq
+	t.nextSeq++
+	t.dStation[d] = int32(r.station)
+	t.dObject[d] = int32(r.object)
+	t.dFirst[d] = int32(first)
+	t.dTau0[d] = int32(e.now)
+	t.dTmax[d] = int32(tmax)
+	t.dM[d] = int32(len(vids))
+	t.dDone[d] = false
+	t.dDeg[d] = 0
+	t.dDegAt[d] = -2 // never degraded: -2 is adjacent to no interval
+	base := int(d) * t.stride
 	for i := range vids {
 		if t.vbusy[vids[i]] != freeSlot {
 			e.hiccups++
 		}
-		t.setVBusy(vids[i], d.id, d)
-		d.streams[i] = stream{vdisk: vids[i], t: ts[i]}
-		slot := (d.tau0 + ts[i] + n) % t.horizon
-		t.releases[slot] = append(t.releases[slot], streamRef{d: d, i: i})
+		t.setVBusy(vids[i], d)
+		t.sVdisk[base+i] = int32(vids[i])
+		t.sT[base+i] = int32(ts[i])
+		slot := (e.now + ts[i] + n) % t.horizon
+		t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
 	}
-	slot := (d.deliveryEnd(n) + 1) % t.horizon
+	slot := (e.now + tmax + n) % t.horizon // deliveryEnd + 1
 	t.completions[slot] = append(t.completions[slot], d)
 	if tmax > 0 {
 		t.coalescing = append(t.coalescing, d)
@@ -826,7 +1051,7 @@ func (t *stripedTech) start(r request, p core.Placement, vids, ts []int, tmax in
 	e.admittedTotal++
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
 	if e.tracer != nil {
-		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", d.first, d.tmax))
+		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", first, tmax))
 	}
 }
 
@@ -844,34 +1069,37 @@ func (t *stripedTech) coalesce() {
 	n := t.cfg.Subobjects
 	kept := t.coalescing[:0]
 	for _, d := range t.coalescing {
-		if d.done {
+		if t.dDone[d] {
 			continue
 		}
 		pending := false
-		for i := range d.streams {
-			s := &d.streams[i]
-			if s.vdisk < 0 || s.t == d.tmax {
+		base := int(d) * t.stride
+		tau0, tmax := int(t.dTau0[d]), int(t.dTmax[d])
+		first := int(t.dFirst[d])
+		for i := 0; i < int(t.dM[d]); i++ {
+			v := t.sVdisk[base+i]
+			if v < 0 || int(t.sT[base+i]) == tmax {
 				continue
 			}
 			// The virtual disk a contiguous admission at τ0+Tmax
 			// would have used for fragment i.
-			ideal := vdisk.VirtualAt((d.first+i)%t.cfg.D, d.tau0+d.tmax, t.cfg.K, t.cfg.D)
-			if ideal == s.vdisk {
+			ideal := vdisk.VirtualAt((first+i)%t.cfg.D, tau0+tmax, t.cfg.K, t.cfg.D)
+			if ideal == int(v) {
 				continue // already on it; will release on its own clock
 			}
 			if t.vbusy[ideal] != freeSlot {
 				pending = true
 				continue
 			}
-			t.setVBusy(s.vdisk, freeSlot, nil)
-			t.setVBusy(ideal, d.id, d)
-			s.vdisk = ideal
-			s.t = d.tmax
-			slot := (d.tau0 + d.tmax + n) % t.horizon
-			t.releases[slot] = append(t.releases[slot], streamRef{d: d, i: i})
+			t.setVBusy(int(v), freeSlot)
+			t.setVBusy(ideal, d)
+			t.sVdisk[base+i] = int32(ideal)
+			t.sT[base+i] = int32(tmax)
+			slot := (tau0 + tmax + n) % t.horizon
+			t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
 			e.coalescings++
 			if e.tracer != nil {
-				e.emit(EvCoalesce, d.object, d.station, fmt.Sprintf("fragment %d", i))
+				e.emit(EvCoalesce, int(t.dObject[d]), int(t.dStation[d]), fmt.Sprintf("fragment %d", i))
 			}
 		}
 		if pending {

@@ -11,8 +11,10 @@ import (
 	"github.com/mmsim/staggered/internal/sim"
 )
 
-// clusterJob describes what a busy cluster is doing.
-type clusterJob int
+// clusterJob describes what a busy cluster is doing.  One byte: the
+// job table is walked by the degraded scan and activeDisplays, and at
+// 10k clusters a dense byte array keeps it in a few cache lines.
+type clusterJob int8
 
 const (
 	jobIdle clusterJob = iota
@@ -38,11 +40,15 @@ type vdrTech struct {
 	store *core.VDRStore
 	repl  policy.Replication
 
+	// Cluster state, struct-of-arrays with compact element types (the
+	// interval and id spaces fit int32 by the Config validation
+	// ranges), so the per-interval walks touch a quarter of the memory
+	// the word-sized slices did.
 	clusters  int
 	job       []clusterJob
-	busyUntil []int // interval at which the cluster frees (exclusive)
-	jobObject []int // object the cluster is working on
-	station   []int // station of a display job
+	busyUntil []int32 // interval at which the cluster frees (exclusive)
+	jobObject []int32 // object the cluster is working on
+	station   []int32 // station of a display job
 
 	busyClusters int                 // clusters with a non-idle job
 	endings      *sim.TickWheel[int] // interval -> clusters whose job ends
@@ -119,9 +125,9 @@ func (t *vdrTech) bind(e *Engine) error {
 	t.replQueued = make([]bool, cfg.Objects)
 	t.matObject = -1
 	t.job = make([]clusterJob, t.clusters)
-	t.busyUntil = make([]int, t.clusters)
-	t.jobObject = make([]int, t.clusters)
-	t.station = make([]int, t.clusters)
+	t.busyUntil = make([]int32, t.clusters)
+	t.jobObject = make([]int32, t.clusters)
+	t.station = make([]int32, t.clusters)
 	if e.faultEvents != nil {
 		t.clusterBad = make([]int, t.clusters)
 		t.clusterSlow = make([]int, t.clusters)
@@ -268,7 +274,7 @@ func (t *vdrTech) degradedScan() {
 // abortDisplay kills the display on cluster c; its ending-wheel entry
 // goes stale (finishDue revalidates against jobIdle).
 func (t *vdrTech) abortDisplay(c int) {
-	station, object := t.station[c], t.jobObject[c]
+	station, object := int(t.station[c]), int(t.jobObject[c])
 	t.clearJob(c)
 	t.eng.countAbort(station, object)
 }
@@ -323,8 +329,8 @@ func (t *vdrTech) uniqueResidents() int { return t.store.UniqueResident() }
 // completion bucket.
 func (t *vdrTech) setJob(c int, job clusterJob, object, until int) {
 	t.job[c] = job
-	t.jobObject[c] = object
-	t.busyUntil[c] = until
+	t.jobObject[c] = int32(object)
+	t.busyUntil[c] = int32(until)
 	t.busyClusters++
 	if t.jobDegraded != nil {
 		t.jobDegraded[c] = 0
@@ -360,17 +366,17 @@ func (t *vdrTech) finishDue() {
 	sort.Ints(ending)
 	reissue := e.reissueBuf[:0]
 	for _, c := range ending {
-		if t.job[c] == jobIdle || e.now < t.busyUntil[c] {
+		if t.job[c] == jobIdle || e.now < int(t.busyUntil[c]) {
 			continue
 		}
 		switch t.job[c] {
 		case jobDisplay:
 			e.completed++
 			e.completedTotal++
-			e.stn.Complete(t.station[c])
-			reissue = append(reissue, t.station[c])
+			e.stn.Complete(int(t.station[c]))
+			reissue = append(reissue, int(t.station[c]))
 		case jobCopyTarget:
-			if err := t.store.PlaceReplica(t.jobObject[c], c, t.cfg.Subobjects); err != nil {
+			if err := t.store.PlaceReplica(int(t.jobObject[c]), c, t.cfg.Subobjects); err != nil {
 				e.hiccups++
 			} else {
 				e.replications++
@@ -635,7 +641,7 @@ func (t *vdrTech) copiesInFlight(id int) int {
 func (t *vdrTech) startDisplay(r request, c int) {
 	e := t.eng
 	t.setJob(c, jobDisplay, r.object, e.now+t.cfg.Subobjects)
-	t.station[c] = r.station
+	t.station[c] = int32(r.station)
 	e.pinned[r.object]--
 	e.admittedTotal++
 	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())

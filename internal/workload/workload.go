@@ -37,9 +37,12 @@ func MeanLabel(mean float64) string {
 // shared popularity distribution, with an independent random stream
 // per station so that adding stations never perturbs the reference
 // string of existing ones.
+// The streams live in one dense slice (not per-station pointers) so a
+// 20k-station run walks contiguous memory instead of chasing 20k heap
+// objects.
 type Generator struct {
 	dist    *rng.Discrete
-	streams []*rng.Stream
+	streams []rng.Stream
 }
 
 // NewGenerator builds a generator for the given number of stations
@@ -53,9 +56,9 @@ func NewGenerator(src *rng.Source, n int, mean float64, stations int) (*Generato
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{dist: dist, streams: make([]*rng.Stream, stations)}
+	g := &Generator{dist: dist, streams: make([]rng.Stream, stations)}
 	for i := range g.streams {
-		g.streams[i] = src.StreamN("station", i)
+		g.streams[i] = *src.StreamN("station", i)
 	}
 	return g, nil
 }
@@ -65,7 +68,7 @@ func (g *Generator) Stations() int { return len(g.streams) }
 
 // Draw returns the next object reference of the given station.
 func (g *Generator) Draw(station int) int {
-	return g.dist.Sample(g.streams[station])
+	return g.dist.Sample(&g.streams[station])
 }
 
 // Popularity returns the reference probability of object id.
@@ -115,6 +118,24 @@ func (s *Stations) Issue(station int, now float64) Request {
 	s.total++
 	return Request{Station: station, Object: s.gen.Draw(station), IssuedAt: now}
 }
+
+// IssueSharded is Issue without the shared total counter, for
+// shard-parallel drains: each station belongs to exactly one shard, so
+// busy and the per-station generator stream are touched by one
+// goroutine only, while total would be contended.  Callers account the
+// issued count afterwards with AddIssued.
+func (s *Stations) IssueSharded(station int, now float64) Request {
+	if s.busy[station] {
+		panic(fmt.Sprintf("workload: station %d already has an outstanding request", station))
+	}
+	s.busy[station] = true
+	return Request{Station: station, Object: s.gen.Draw(station), IssuedAt: now}
+}
+
+// AddIssued adds n requests to the issued total; the sequential merge
+// phase calls it once per interval after shard-parallel IssueSharded
+// calls.
+func (s *Stations) AddIssued(n int) { s.total += n }
 
 // Complete marks station s idle again (its display finished).
 func (s *Stations) Complete(station int) {

@@ -26,6 +26,9 @@ go test -bench 'BenchmarkCalendar' -benchmem -benchtime 100000x -run '^$' ./inte
 echo "== golden dumps (52-config sweep + staggered strides, byte-identical)"
 go test -run 'TestGoldenSweep$|TestGoldenStaggered$|TestStaggeredKMMatchesSimpleGolden$' ./internal/sched
 
+echo "== sharded engine under the race detector (workers=4, 10x trajectory)"
+go run -race ./cmd/sweep -scale 10x -workers 4 -csv
+
 echo "== quick sweep per registered technique"
 for tkey in $(go run ./cmd/sweep -list-techniques | awk '{print $1}'); do
 	echo "-- technique: $tkey"
@@ -35,6 +38,6 @@ echo "-- technique: staggered (explicit stride k=1)"
 go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
 
 echo "== perf-regression report + gate (>20% ns/op over reference fails)"
-go run ./cmd/bench -out BENCH_4.json -maxregress 0.20
+go run ./cmd/bench -out BENCH_5.json -maxregress 0.20
 
 echo "CI OK"
