@@ -2,16 +2,18 @@
 // simulation-heavy engine benchmarks and the kernel calendar
 // microbenchmarks through testing.Benchmark, runs the scale-mode
 // sweep trajectory (to 1000x: 50,000 disks, 20,000 stations) plus a
-// worker-count curve at the largest factor, and writes a
-// machine-readable report (default BENCH_5.json) with ns/op, B/op,
-// and allocs/op next to the recorded baselines.  With -maxregress it
-// exits nonzero when any recorded bench regresses past the threshold
-// against its reference, so scripts/ci.sh fails on hot-path
-// regressions instead of logging them.
+// worker-count curve at the largest factor, runs the E19 cache-tier
+// sweep (displays/hour, startup latency, and hit rate per cache
+// budget × skew × batch window cell), and writes a machine-readable
+// report (default BENCH_6.json) with ns/op, B/op, and allocs/op next
+// to the recorded baselines.  With -maxregress it exits nonzero when
+// any recorded bench regresses past the threshold against its
+// reference, so scripts/ci.sh fails on hot-path regressions instead
+// of logging them.
 //
 // Usage:
 //
-//	bench                     # write BENCH_5.json in the current directory
+//	bench                     # write BENCH_6.json in the current directory
 //	bench -out report.json
 //	bench -maxregress 0.20    # fail on >20% ns/op regression vs reference
 //	bench -workers 1,2,4,8    # worker curve measured at the largest factor
@@ -42,24 +44,26 @@ var baseline = map[string]Measurement{
 }
 
 // reference is the regression gate: the engine and scale benches use
-// the numbers the previous PR's harness recorded in BENCH_4.json on
+// the numbers the previous PR's harness recorded in BENCH_5.json on
 // the CI machine; the nanosecond-scale calendar benches keep the
 // upper end of their recorded range (DESIGN.md §8: 60–110 / 20–35
 // ns/op depending on the VM's state), because single-core clock
 // drift alone exceeds 20% at that scale.  -maxregress compares
-// current ns/op against these — for this PR the gate proves the SoA
-// conversion and the sharding plumbing cost nothing on the
-// sequential (workers ≤ 1) hot path.
+// current ns/op against these — for this PR the gate proves the
+// memory-tier hooks (nil cache pointer checks on record/admit/abort)
+// cost nothing on the cache-disabled hot path.  The new
+// BenchmarkCachedFigure8 has no reference yet; BENCH_6.json records
+// its first numbers.
 var reference = map[string]Measurement{
-	"BenchmarkFigure8a":         {NsPerOp: 8459508, BytesPerOp: 1073742, AllocsPerOp: 6402},
-	"BenchmarkFigure8b":         {NsPerOp: 6850291, BytesPerOp: 1050861, AllocsPerOp: 6349},
-	"BenchmarkFigure8c":         {NsPerOp: 6572871, BytesPerOp: 1035789, AllocsPerOp: 6375},
-	"BenchmarkTable4":           {NsPerOp: 15955255, BytesPerOp: 1828971, AllocsPerOp: 11389},
-	"BenchmarkFaultRecovery":    {NsPerOp: 1247987, BytesPerOp: 276690, AllocsPerOp: 1735},
-	"BenchmarkStaggeredK1":      {NsPerOp: 40222487, BytesPerOp: 45978750, AllocsPerOp: 205805},
+	"BenchmarkFigure8a":         {NsPerOp: 7725979, BytesPerOp: 538293, AllocsPerOp: 5245},
+	"BenchmarkFigure8b":         {NsPerOp: 6023020, BytesPerOp: 499228, AllocsPerOp: 5152},
+	"BenchmarkFigure8c":         {NsPerOp: 6014749, BytesPerOp: 474002, AllocsPerOp: 5154},
+	"BenchmarkTable4":           {NsPerOp: 14303137, BytesPerOp: 888317, AllocsPerOp: 9366},
+	"BenchmarkFaultRecovery":    {NsPerOp: 1055524, BytesPerOp: 119493, AllocsPerOp: 1398},
+	"BenchmarkStaggeredK1":      {NsPerOp: 21784279, BytesPerOp: 4312683, AllocsPerOp: 105614},
 	"BenchmarkCalendarSchedule": {NsPerOp: 110, BytesPerOp: 0, AllocsPerOp: 0},
 	"BenchmarkCalendarCancel":   {NsPerOp: 34, BytesPerOp: 0, AllocsPerOp: 0},
-	"BenchmarkScaleSweep":       {NsPerOp: 8212162, BytesPerOp: 10329440, AllocsPerOp: 3780},
+	"BenchmarkScaleSweep":       {NsPerOp: 5188020, BytesPerOp: 3721038, AllocsPerOp: 2021},
 }
 
 // Measurement is one benchmark's cost per operation.
@@ -90,17 +94,24 @@ type Env struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SingleCore flags reports produced on a one-CPU machine, where
+	// the worker curve cannot show speedup and nanosecond benches see
+	// scheduler steal time (see the stderr warning bench prints).
+	SingleCore bool `json:"single_core,omitempty"`
 	// Workers is the worker-count list the curve below was measured
 	// with.
 	Workers []int `json:"worker_curve,omitempty"`
 }
 
-// Report is the BENCH_5.json document.
+// Report is the BENCH_6.json document.
 type Report struct {
 	Note    string                  `json:"note"`
 	Env     Env                     `json:"env"`
 	Results []Entry                 `json:"results"`
 	Scale   []experiment.ScalePoint `json:"scale_sweep,omitempty"`
+	// Cache is the E19 memory-tier sweep: displays/hour, startup
+	// latency, and cache-hit rate per budget × skew × window cell.
+	Cache []experiment.E19Point `json:"cache_sweep,omitempty"`
 	// WorkerCurve re-runs the largest scale factor at each worker
 	// count: same simulation (identical displays), different
 	// wall-clock.  Speedup is only expected when GOMAXPROCS > 1.
@@ -156,6 +167,20 @@ func benchCalendarCancel(b *testing.B) {
 	}
 }
 
+// benchCachedFigure8 runs one cache-enabled E19 cell per op: the
+// quick geometry under an open Zipf(0.7) stream with a 256 MiB prefix
+// cache and an 8-interval batch window — the memory-tier hot path
+// (admission, followers, open arrivals) the disk-only benches above
+// never enter.
+func benchCachedFigure8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.E19Run(0.7, 256, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchScaleSweep runs one 10x scale point per op.
 func benchScaleSweep(b *testing.B) {
 	b.ReportAllocs()
@@ -202,7 +227,7 @@ func main() {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_5.json", "report file")
+	out := flag.String("out", "BENCH_6.json", "report file")
 	maxRegress := flag.Float64("maxregress", 0, "fail when any recorded bench's ns/op exceeds its reference by more than this fraction (0 = report only)")
 	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100,200,500,1000", "comma-separated scale-sweep factors; empty = skip the sweep")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the curve at the largest scale factor; empty = skip the curve")
@@ -218,6 +243,7 @@ func run() int {
 		{"BenchmarkTable4", benchTable4},
 		{"BenchmarkFaultRecovery", benchFaultRecovery},
 		{"BenchmarkStaggeredK1", benchStaggeredK1},
+		{"BenchmarkCachedFigure8", benchCachedFigure8},
 		{"BenchmarkCalendarSchedule", benchCalendarSchedule},
 		{"BenchmarkCalendarCancel", benchCalendarCancel},
 		{"BenchmarkScaleSweep", benchScaleSweep},
@@ -231,7 +257,11 @@ func run() int {
 			GOARCH:     runtime.GOARCH,
 			NumCPU:     runtime.NumCPU(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			SingleCore: runtime.NumCPU() == 1,
 		},
+	}
+	if report.Env.SingleCore {
+		fmt.Fprintln(os.Stderr, "bench: WARNING: single-core machine — the worker curve cannot show speedup and nanosecond benches include scheduler steal time; treat ns/op comparisons across machines with care")
 	}
 	failed := false
 	for _, bm := range benches {
@@ -325,6 +355,21 @@ func run() int {
 					p.Factor, w, p.Shards, p.Displays, p.WallSeconds, p.NsPerDisplay)
 			}
 		}
+	}
+
+	// E19 cache-tier sweep: records the displays/hour, startup-latency,
+	// and hit-rate columns per budget × skew × window cell, so the
+	// report pins the memory tier's throughput claim next to the
+	// disk-only baselines it beats.
+	cachePoints, err := experiment.E19(1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	report.Cache = cachePoints
+	for _, p := range cachePoints {
+		fmt.Printf("cache skew=%.1f mb=%-5d window=%-3d  %8.1f displays/hour  %7.1fs startup  hit %.3f\n",
+			p.Skew, p.BudgetMB, p.WindowIntervals, p.DisplaysPerHour, p.StartupMeanSeconds, p.HitRate)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -9,6 +9,8 @@
 //	ssim -technique staggered -stride 1 -stations 64
 //	ssim -scale quick ...            # reduced farm for fast runs
 //	ssim -faults 'fail:7@600-1200'   # inject a fault plan
+//	ssim -cachemb 256 -batchwindow 8 # enable the memory tier (DESIGN.md §12)
+//	ssim -zipf 0.7 -arrivals 6000    # open Zipf Poisson workload
 //
 // A run whose materializations starve at the Place retry cap exits
 // nonzero with the typed starvation diagnosis on stderr.
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
@@ -46,6 +49,11 @@ func run() (code int) {
 	trace := flag.Int("trace", 0, "print the first N scheduler events")
 	faultsFlag := flag.String("faults", "", "fault plan (e.g. 'fail:7@600; slow:3@100-400; tert@0-200; wear:0-9@mttf=500,mttr=50,until=3000')")
 	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
+	cacheMB := flag.Int("cachemb", 0, "prefix-cache budget in MiB (0 = no prefix cache; DESIGN.md §12)")
+	batchWindow := flag.Int("batchwindow", 0, "multicast batch window in intervals (0 = no batching)")
+	cachePolicy := flag.String("cache", "", "cache replacement policy: lru or popularity (default popularity)")
+	zipfSkew := flag.Float64("zipf", 0, "Zipf popularity skew theta (0 = geometric -dist catalog)")
+	arrivals := flag.Float64("arrivals", 0, "open Poisson arrivals per hour (0 = closed loop)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -86,6 +94,15 @@ func run() (code int) {
 		cfg.MeasureIntervals = *measure
 	}
 	cfg.EvictionPressure = *pressure
+	cfg.ZipfSkew = *zipfSkew
+	cfg.ArrivalsPerHour = *arrivals
+	if *cacheMB > 0 || *batchWindow > 0 {
+		cfg.Cache = &cache.Spec{
+			BudgetBytes: int64(*cacheMB) << 20,
+			BatchWindow: *batchWindow,
+			Policy:      *cachePolicy,
+		}
+	}
 	if *faultsFlag != "" {
 		plan, err := fault.Parse(*faultsFlag)
 		if err != nil {
@@ -168,5 +185,12 @@ func printResult(cfg sched.Config, r metrics.Run) {
 	if r.DegradedHiccups+r.AbortedDisplays+r.RejectedDegraded+r.StarvedMaterializations > 0 {
 		fmt.Printf("degraded mode:        %d hiccups, %d aborted displays, %d rejected admissions, %d starved materializations\n",
 			r.DegradedHiccups, r.AbortedDisplays, r.RejectedDegraded, r.StarvedMaterializations)
+	}
+	if r.ServedFromCache+r.BatchedFollowers > 0 {
+		fmt.Printf("memory tier:          %d cache-served starts (hit rate %.3f, %.2f GB), %d batched followers\n",
+			r.ServedFromCache, r.CacheHitRate(), float64(r.CacheHitBytes)/(1<<30), r.BatchedFollowers)
+	}
+	if r.OpenRejected > 0 {
+		fmt.Printf("open rejections:      %d arrivals dropped (all stations busy)\n", r.OpenRejected)
 	}
 }

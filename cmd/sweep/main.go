@@ -18,6 +18,9 @@
 //	sweep -list-techniques        # show the technique registry
 //	sweep -faults 'fail:7@600'    # inject a fault plan into every run
 //	sweep -e18                    # availability experiment (EXPERIMENTS.md E18)
+//	sweep -e19                    # cache-size sweep (EXPERIMENTS.md E19)
+//	sweep -cachemb 256 -batchwindow 8   # memory tier on every run (DESIGN.md §12)
+//	sweep -zipf 0.7 -arrivals 6000      # open Zipf workload instead of the closed loop
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
@@ -54,6 +58,12 @@ func run() (code int) {
 	workersFlag := flag.Int("workers", 0, "intra-run worker count for sharded execution (0 or 1 = sequential; results are identical at any count, DESIGN.md §11)")
 	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
 	e18Flag := flag.Bool("e18", false, "run the E18 availability experiment and exit")
+	e19Flag := flag.Bool("e19", false, "run the E19 cache-size sweep and exit")
+	cacheMB := flag.Int("cachemb", 0, "prefix-cache RAM budget in MB (0 = no prefix cache; DESIGN.md §12)")
+	batchWindow := flag.Int("batchwindow", 0, "multicast batch window in intervals (0 = no batching)")
+	cachePolicy := flag.String("cache", "", "cache replacement policy: lru or popularity (default popularity)")
+	zipfSkew := flag.Float64("zipf", 0, "Zipf popularity skew theta (0 = paper's geometric distribution)")
+	arrivals := flag.Float64("arrivals", 0, "open Poisson arrivals per hour (0 = closed loop)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -65,6 +75,16 @@ func run() (code int) {
 			return 1
 		}
 		fmt.Print(experiment.E18Render(points))
+		return 0
+	}
+
+	if *e19Flag {
+		points, err := experiment.E19(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		fmt.Print(experiment.E19Render(points))
 		return 0
 	}
 
@@ -82,8 +102,21 @@ func run() (code int) {
 	}
 
 	var opts *experiment.Options
-	if *faultsFlag != "" || *pressure || *workersFlag > 1 {
-		opts = &experiment.Options{EvictionPressure: *pressure, Workers: *workersFlag}
+	cacheOn := *cacheMB > 0 || *batchWindow > 0
+	if *faultsFlag != "" || *pressure || *workersFlag > 1 || cacheOn || *zipfSkew > 0 || *arrivals > 0 {
+		opts = &experiment.Options{
+			EvictionPressure: *pressure,
+			Workers:          *workersFlag,
+			ZipfSkew:         *zipfSkew,
+			ArrivalsPerHour:  *arrivals,
+		}
+		if cacheOn {
+			opts.Cache = &cache.Spec{
+				BudgetBytes: int64(*cacheMB) << 20,
+				BatchWindow: *batchWindow,
+				Policy:      *cachePolicy,
+			}
+		}
 		if *faultsFlag != "" {
 			plan, err := fault.Parse(*faultsFlag)
 			if err != nil {
@@ -195,7 +228,7 @@ func runScaleMode(mode string, seed uint64, csv bool, workers int) int {
 	}
 	if csv {
 		tbl := &metrics.Table{Header: []string{
-			"factor", "disks", "stations", "displays", "wall_seconds", "intervals_per_second", "ns_per_display", "workers", "shards",
+			"factor", "disks", "stations", "displays", "wall_seconds", "intervals_per_second", "ns_per_display", "workers", "shards", "heap_alloc_bytes",
 		}}
 		for _, p := range points {
 			tbl.AddRow(
@@ -208,6 +241,7 @@ func runScaleMode(mode string, seed uint64, csv bool, workers int) int {
 				fmt.Sprintf("%.0f", p.NsPerDisplay),
 				fmt.Sprintf("%d", p.Workers),
 				fmt.Sprintf("%d", p.Shards),
+				fmt.Sprintf("%d", p.HeapAllocBytes),
 			)
 		}
 		fmt.Print(tbl.CSV())
@@ -269,6 +303,7 @@ func techniquesCSV(mean float64, pts []experiment.Point) string {
 	tbl := &metrics.Table{Header: []string{
 		"mean", "stations", "technique", "name", "per_hour", "latency_s", "unique_residents",
 		"requests", "degraded_hiccups", "aborted_displays", "rejected_degraded", "starved_materializations",
+		"served_from_cache", "batched_followers", "cache_hit_bytes", "open_rejected",
 	}}
 	for _, p := range pts {
 		for i, label := range p.Techniques {
@@ -286,6 +321,10 @@ func techniquesCSV(mean float64, pts []experiment.Point) string {
 				fmt.Sprintf("%d", r.AbortedDisplays),
 				fmt.Sprintf("%d", r.RejectedDegraded),
 				fmt.Sprintf("%d", r.StarvedMaterializations),
+				fmt.Sprintf("%d", r.ServedFromCache),
+				fmt.Sprintf("%d", r.BatchedFollowers),
+				fmt.Sprintf("%d", r.CacheHitBytes),
+				fmt.Sprintf("%d", r.OpenRejected),
 			)
 		}
 	}

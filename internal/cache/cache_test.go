@@ -1,0 +1,192 @@
+package cache
+
+import "testing"
+
+func testSpec() *Spec {
+	return &Spec{BudgetBytes: 100, BatchWindow: 8}
+}
+
+func flatBytes(int) int64 { return 40 }
+
+func TestSpecEnabled(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Enabled() {
+		t.Fatal("nil spec must be disabled")
+	}
+	if (&Spec{}).Enabled() {
+		t.Fatal("zero spec must be disabled")
+	}
+	if !(&Spec{BudgetBytes: 1}).Enabled() {
+		t.Fatal("budget alone must enable")
+	}
+	if !(&Spec{BatchWindow: 1}).Enabled() {
+		t.Fatal("batch window alone must enable")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatalf("nil spec: %v", err)
+	}
+	good := []Spec{{}, {BudgetBytes: 1 << 20, PrefixSubobjects: 4, BatchWindow: 8}, {Policy: PolicyLRU}, {Policy: PolicyPopularity}}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v: unexpected error %v", s, err)
+		}
+	}
+	bad := []Spec{{BudgetBytes: -1}, {PrefixSubobjects: -1}, {BatchWindow: -1}, {Policy: "fifo"}}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v: expected error", s)
+		}
+	}
+}
+
+func TestAdmissionRespectsBudget(t *testing.T) {
+	tr := NewTier(testSpec(), 8, 4, flatBytes, 30)
+	tr.Reference(0, 0)
+	tr.Reference(1, 1)
+	if !tr.Resident(0) || !tr.Resident(1) {
+		t.Fatal("first two objects should pin (80 <= 100)")
+	}
+	// A third 40-byte prefix does not fit, and a single cold reference
+	// must not displace warmer residents under the popularity policy.
+	tr.Reference(2, 2)
+	if tr.Resident(2) {
+		t.Fatal("one-time reference must not displace residents")
+	}
+	if tr.Used() != 80 || tr.ResidentCount() != 2 {
+		t.Fatalf("used=%d residents=%d, want 80/2", tr.Used(), tr.ResidentCount())
+	}
+}
+
+func TestPopularityDisplacesColdest(t *testing.T) {
+	tr := NewTier(testSpec(), 8, 4, flatBytes, 30)
+	tr.Reference(0, 0)
+	tr.Reference(1, 1)
+	// Heat object 2 past object 0's score; it should evict the coldest
+	// resident (object 0 and 1 tie on one touch; lowest score wins, and
+	// object 0's touch decayed longer).
+	tr.Reference(2, 2)
+	tr.Reference(2, 3)
+	tr.Reference(2, 4)
+	if !tr.Resident(2) {
+		t.Fatal("hot object should displace a cold resident")
+	}
+	if tr.Resident(0) {
+		t.Fatal("coldest resident (object 0) should have been evicted")
+	}
+	if !tr.Resident(1) {
+		t.Fatal("object 1 should survive")
+	}
+}
+
+func TestLRUAlwaysAdmits(t *testing.T) {
+	spec := testSpec()
+	spec.Policy = PolicyLRU
+	tr := NewTier(spec, 8, 4, flatBytes, 30)
+	if tr.Policy() != PolicyLRU {
+		t.Fatalf("policy = %s", tr.Policy())
+	}
+	tr.Reference(0, 0)
+	tr.Reference(1, 1)
+	tr.Reference(2, 2)
+	if !tr.Resident(2) {
+		t.Fatal("LRU admits every reference")
+	}
+	if tr.Resident(0) {
+		t.Fatal("LRU evicts the least recently used (object 0)")
+	}
+}
+
+func TestOversizedObjectNeverPins(t *testing.T) {
+	tr := NewTier(testSpec(), 4, 4, func(int) int64 { return 1000 }, 30)
+	for i := 0; i < 10; i++ {
+		tr.Reference(0, i)
+	}
+	if tr.Resident(0) || tr.Used() != 0 {
+		t.Fatal("object larger than the whole budget must never pin")
+	}
+}
+
+func TestAttachGapConditions(t *testing.T) {
+	tr := NewTier(testSpec(), 4, 4, flatBytes, 30)
+	tr.Reference(0, 0) // resident
+	tr.SetLeader(0, 7, 10, 50, 2)
+	if _, ok := tr.AttachGap(0, 10, 8); ok {
+		t.Fatal("gap 0 must not attach (same interval joins as pending)")
+	}
+	if _, ok := tr.AttachGap(0, 11, 8); ok {
+		t.Fatal("gap below leader Tmax must not attach")
+	}
+	gap, ok := tr.AttachGap(0, 13, 8)
+	if !ok || gap != 3 {
+		t.Fatalf("gap 3 should attach, got %d,%v", gap, ok)
+	}
+	if _, ok := tr.AttachGap(0, 15, 8); ok {
+		t.Fatal("gap beyond prefix length must not attach")
+	}
+	if _, ok := tr.AttachGap(0, 13, 2); ok {
+		t.Fatal("gap beyond batch window must not attach")
+	}
+	if _, ok := tr.AttachGap(0, 60, 64); ok {
+		t.Fatal("dead leader must not attach")
+	}
+	// Non-resident prefix: followers have nothing to catch up from.
+	tr.SetLeader(1, 3, 10, 50, 0)
+	if _, ok := tr.AttachGap(1, 12, 8); ok {
+		t.Fatal("non-resident prefix must not attach")
+	}
+}
+
+func TestDetachIfLeader(t *testing.T) {
+	tr := NewTier(testSpec(), 4, 4, flatBytes, 30)
+	tr.SetLeader(0, 7, 10, 50, 0)
+	tr.AddFollower(0, 3)
+	tr.AddFollower(0, 5)
+	tr.RemoveFollower(0, 3)
+	if buf, ok := tr.DetachIfLeader(0, 9, 20, nil); ok || len(buf) != 0 {
+		t.Fatal("non-leader station must not detach")
+	}
+	buf, ok := tr.DetachIfLeader(0, 7, 20, nil)
+	if !ok || len(buf) != 1 || buf[0] != 5 {
+		t.Fatalf("detach got %v,%v; want [5],true", buf, ok)
+	}
+	if _, ok := tr.AttachGap(0, 11, 8); ok {
+		t.Fatal("leader must be dead after detach")
+	}
+	if buf, ok := tr.DetachIfLeader(0, 7, 20, nil); ok || len(buf) != 0 {
+		t.Fatal("second detach must be a no-op")
+	}
+}
+
+func TestPendingRoundTrip(t *testing.T) {
+	tr := NewTier(testSpec(), 4, 4, flatBytes, 30)
+	tr.AddPending(2, 9, 100)
+	tr.AddPending(2, 11, 101)
+	if tr.PendingCount(2) != 2 {
+		t.Fatalf("pending = %d", tr.PendingCount(2))
+	}
+	got := tr.TakePending(2, nil)
+	if len(got) != 2 || got[0] != (Pending{9, 100}) || got[1] != (Pending{11, 101}) {
+		t.Fatalf("TakePending = %v", got)
+	}
+	if tr.PendingCount(2) != 0 {
+		t.Fatal("TakePending must drain")
+	}
+	if got := tr.TakePending(2, got[:0]); len(got) != 0 {
+		t.Fatal("second take must be empty")
+	}
+}
+
+func TestSetLeaderSupersedesFollowers(t *testing.T) {
+	tr := NewTier(testSpec(), 4, 4, flatBytes, 30)
+	tr.SetLeader(0, 7, 10, 50, 0)
+	tr.AddFollower(0, 3)
+	tr.SetLeader(0, 8, 20, 60, 0)
+	buf, ok := tr.DetachIfLeader(0, 8, 25, nil)
+	if !ok || len(buf) != 0 {
+		t.Fatalf("superseding leader must start with no followers, got %v,%v", buf, ok)
+	}
+}

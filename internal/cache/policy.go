@@ -1,0 +1,115 @@
+package cache
+
+import "math"
+
+// Replacement policy names accepted by Spec.Policy.
+const (
+	PolicyLRU        = "lru"
+	PolicyPopularity = "popularity"
+)
+
+// Policy decides which resident prefix to displace and whether a
+// candidate reference is hot enough to displace it.  Implementations
+// are deterministic: ties break on the lowest object id.
+type Policy interface {
+	Name() string
+	// Touched records a reference to obj at interval now (resident or
+	// not — admission needs scores for non-residents too).
+	Touched(obj, now int)
+	// Inserted / Evicted track residency transitions.
+	Inserted(obj, now int)
+	Evicted(obj int)
+	// Victim picks the eviction candidate among resident objects.
+	Victim(resident []int) (int, bool)
+	// ShouldAdmit reports whether candidate is worth displacing victim.
+	ShouldAdmit(candidate, victim int) bool
+}
+
+// lru is the baseline: evict the least-recently-touched prefix, and
+// always admit the newcomer (a plain recency cache).
+type lru struct {
+	last []int32 // object -> last touch interval, -1 = never
+}
+
+func newLRU(objects int) *lru {
+	p := &lru{last: make([]int32, objects)}
+	for i := range p.last {
+		p.last[i] = -1
+	}
+	return p
+}
+
+func (p *lru) Name() string          { return PolicyLRU }
+func (p *lru) Touched(obj, now int)  { p.last[obj] = int32(now) }
+func (p *lru) Inserted(obj, now int) {}
+func (p *lru) Evicted(obj int)       {}
+
+func (p *lru) Victim(resident []int) (int, bool) {
+	victim, best := -1, int32(math.MaxInt32)
+	for _, id := range resident {
+		t := p.last[id]
+		if t < best || (t == best && (victim < 0 || id < victim)) {
+			victim, best = id, t
+		}
+	}
+	return victim, victim >= 0
+}
+
+func (p *lru) ShouldAdmit(candidate, victim int) bool { return true }
+
+// popularity is the popularity-weighted variant: each touch adds one
+// unit to an exponentially-decayed per-object score (half-life of one
+// display length), so the victim is the coldest prefix by decayed
+// request rate and a newcomer must out-score it to displace it.  This
+// is the interval-caching admission of Jayarekha & Nair: bursty
+// one-time traffic decays away instead of flushing the Zipf head.
+type popularity struct {
+	score    []float64
+	last     []int32 // interval of the last touch, -1 = never
+	halfLife float64
+}
+
+func newPopularity(objects int, halfLife float64) *popularity {
+	if halfLife <= 0 {
+		halfLife = 1
+	}
+	p := &popularity{
+		score:    make([]float64, objects),
+		last:     make([]int32, objects),
+		halfLife: halfLife,
+	}
+	for i := range p.last {
+		p.last[i] = -1
+	}
+	return p
+}
+
+func (p *popularity) Name() string { return PolicyPopularity }
+
+func (p *popularity) Touched(obj, now int) {
+	if p.last[obj] < 0 {
+		p.score[obj] = 1
+	} else {
+		gap := float64(now - int(p.last[obj]))
+		p.score[obj] = 1 + p.score[obj]*math.Exp2(-gap/p.halfLife)
+	}
+	p.last[obj] = int32(now)
+}
+
+func (p *popularity) Inserted(obj, now int) {}
+func (p *popularity) Evicted(obj int)       {}
+
+func (p *popularity) Victim(resident []int) (int, bool) {
+	victim, best := -1, math.Inf(1)
+	for _, id := range resident {
+		s := p.score[id]
+		if s < best || (s == best && (victim < 0 || id < victim)) {
+			victim, best = id, s
+		}
+	}
+	return victim, victim >= 0
+}
+
+func (p *popularity) ShouldAdmit(candidate, victim int) bool {
+	return p.score[candidate] > p.score[victim]
+}

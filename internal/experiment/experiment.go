@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/sched"
@@ -28,6 +29,11 @@ type Options struct {
 	// count, so these only change wall-clock, never the science.
 	Workers int
 	Shards  int
+	// Cache turns the memory tier on for every run; ZipfSkew and
+	// ArrivalsPerHour reshape the workload (see sched.Config).
+	Cache           *cache.Spec
+	ZipfSkew        float64
+	ArrivalsPerHour float64
 }
 
 // apply copies the options onto one run's configuration.
@@ -37,6 +43,9 @@ func (o *Options) apply(cfg *sched.Config) {
 	}
 	cfg.Faults = o.Faults
 	cfg.EvictionPressure = o.EvictionPressure
+	cfg.Cache = o.Cache
+	cfg.ZipfSkew = o.ZipfSkew
+	cfg.ArrivalsPerHour = o.ArrivalsPerHour
 	cfg.Workers = o.Workers
 	cfg.Shards = o.Shards
 	if o.Shards == 0 && o.Workers > 1 {

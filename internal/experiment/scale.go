@@ -83,6 +83,10 @@ type ScalePoint struct {
 	// sequential), so a report line is self-describing.
 	Workers int `json:"workers,omitempty"`
 	Shards  int `json:"shards,omitempty"`
+	// HeapAllocBytes is the live heap right after the run — the
+	// Store/placement-table footprint that dominates at 1000x
+	// (ROADMAP item 5), measured before it can be compacted away.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
 }
 
 // RunScalePoint executes one sequential striped run at the given
@@ -106,6 +110,8 @@ func RunScalePointOpts(factor int, seed uint64, opts ScaleOptions) (ScalePoint, 
 	start := time.Now()
 	res := e.Run()
 	wall := time.Since(start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	intervals := cfg.WarmupIntervals + cfg.MeasureIntervals
 	p := ScalePoint{
 		Factor:      factor,
@@ -116,6 +122,8 @@ func RunScalePointOpts(factor int, seed uint64, opts ScaleOptions) (ScalePoint, 
 		Intervals:   intervals,
 		Workers:     cfg.Workers,
 		Shards:      cfg.Shards,
+
+		HeapAllocBytes: ms.HeapAlloc,
 	}
 	if wall > 0 {
 		p.IntervalsSec = float64(intervals) / wall

@@ -114,6 +114,7 @@ func TestScaleSweepParallelMatchesSequential(t *testing.T) {
 		got.WallSeconds, want.WallSeconds = 0, 0
 		got.IntervalsSec, want.IntervalsSec = 0, 0
 		got.NsPerDisplay, want.NsPerDisplay = 0, 0
+		got.HeapAllocBytes, want.HeapAllocBytes = 0, 0
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("pooled point %d diverged:\n  pooled:     %+v\n  sequential: %+v", i, got, want)
 		}

@@ -127,7 +127,22 @@ type Run struct {
 	RejectedDegraded        int // admissions refused because the object is unplayable
 	StarvedMaterializations int // materializations abandoned after the Place retry cap
 
+	// Cache-tier counters (zero when the memory tier is disabled).
+	ServedFromCache  int   // displays whose start was served from the pinned prefix
+	BatchedFollowers int   // displays that shared another display's disk streams
+	CacheHitBytes    int64 // prefix bytes served from RAM instead of disk
+	OpenRejected     int   // open-system arrivals refused for want of a station
+
 	Latency Tally // admission latency of displays started in the window
+}
+
+// CacheHitRate returns the fraction of window requests whose startup
+// was served from the prefix cache.
+func (r Run) CacheHitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.ServedFromCache) / float64(r.Requests)
 }
 
 // Throughput returns displays per hour over the measurement window.

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"github.com/mmsim/staggered/internal/cache"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sim"
+)
+
+// This file is the engine half of the memory tier (DESIGN.md §12): the
+// hooks that route requests through the prefix cache and the
+// multicast/batching registries, follower display lifecycle, and the
+// open Poisson arrival process that the cache experiments drive the
+// engine with.  Every function here runs on the interval goroutine —
+// requests only reach the cache through the sequential record/admit
+// paths, so sharded execution stays worker-count invariant for free.
+
+// followerRef identifies one scheduled follower completion on the
+// follower wheel; gen stales entries whose follower was detached.
+type followerRef struct {
+	station int32
+	gen     int32
+}
+
+// bindCache allocates the tier and the follower bookkeeping.
+func (e *Engine) bindCache() {
+	cfg := &e.cfg
+	prefix := cfg.Cache.PrefixSubobjects
+	if prefix == 0 {
+		prefix = cache.DefaultPrefixSubobjects
+	}
+	if prefix > cfg.Subobjects {
+		prefix = cfg.Subobjects
+	}
+	bytesOf := func(id int) int64 {
+		return int64(float64(prefix) * float64(cfg.Degree(id)) * cfg.FragmentBytes)
+	}
+	e.cache = cache.NewTier(cfg.Cache, cfg.Objects, prefix, bytesOf, float64(cfg.Subobjects))
+	e.followerWheel = sim.NewTickWheel[followerRef]()
+	e.followerGen = make([]int32, cfg.Stations)
+	e.followerActive = make([]bool, cfg.Stations)
+	e.followerObj = make([]int32, cfg.Stations)
+	e.batchAnchor = make([]int32, cfg.Objects)
+}
+
+// tryCacheServe intercepts a newly drawn reference before it joins the
+// disk queue.  Every reference warms the cache (admission may pin the
+// prefix); with batching on, the request then either attaches to the
+// object's in-flight leader stream as a follower — the resident prefix
+// covers the gap it trails by, so playback starts now and no disk
+// bandwidth is consumed — or, if a request for the same object is
+// still queued within the batch window, waits as pending and boards
+// the leader's stream at admission.  Reports whether the request was
+// absorbed by the tier.
+func (e *Engine) tryCacheServe(req request) bool {
+	e.cache.Reference(req.object, e.now)
+	window := e.cfg.Cache.BatchWindow
+	if window <= 0 {
+		return false
+	}
+	if _, ok := e.cache.AttachGap(req.object, e.now, window); ok {
+		e.servedCache++
+		e.cacheHitBytes += e.cache.Bytes(req.object)
+		e.startFollower(req.station, req.object, e.now+e.cfg.Subobjects, 0)
+		return true
+	}
+	if e.pinned[req.object] > 0 && e.now-int(e.batchAnchor[req.object]) <= window {
+		e.cache.AddPending(req.object, int32(req.station), int32(req.arrived))
+		e.pendingFollowers++
+		return true
+	}
+	return false
+}
+
+// startFollower begins a batched follower display on station st: it
+// shares the leader's disk streams, so it only exists as a completion
+// on the follower wheel and a share-list entry for detach-on-abort.
+func (e *Engine) startFollower(st, obj, endAt, latIntervals int) {
+	e.followerGen[st]++
+	e.followerActive[st] = true
+	e.followerObj[st] = int32(obj)
+	e.activeFollowers++
+	e.followerWheel.Add(endAt, followerRef{station: int32(st), gen: e.followerGen[st]})
+	e.cache.AddFollower(obj, int32(st))
+	e.batchedFollowers++
+	e.admittedTotal++
+	e.admitted = append(e.admitted, float64(latIntervals)*e.cfg.IntervalSeconds())
+	e.emit(EvAdmit, obj, st, "follower")
+}
+
+// noteAdmit records one admission: latency, the cache-hit discount,
+// the leader registration, and the boarding of pending batched
+// followers.  The techniques call it where they used to append to the
+// admitted tally; with the cache disabled it compiles down to exactly
+// that.
+func (e *Engine) noteAdmit(r request, tmax int) {
+	e.admittedTotal++
+	wait := e.now - r.arrived
+	if e.cache == nil {
+		e.admitted = append(e.admitted, float64(wait)*e.cfg.IntervalSeconds())
+		return
+	}
+	res := e.cache.Resident(r.object)
+	lat := wait
+	if res {
+		// The pinned prefix plays while the disk streams start: up to
+		// PrefixLen intervals of queueing are invisible to the viewer.
+		e.servedCache++
+		e.cacheHitBytes += e.cache.Bytes(r.object)
+		if lat -= e.cache.PrefixLen(); lat < 0 {
+			lat = 0
+		}
+	}
+	e.admitted = append(e.admitted, float64(lat)*e.cfg.IntervalSeconds())
+	end := e.now + tmax + e.cfg.Subobjects
+	e.cache.SetLeader(r.object, int32(r.station), e.now, end, tmax)
+	if e.cfg.Cache.BatchWindow <= 0 {
+		return
+	}
+	e.pendingBuf = e.cache.TakePending(r.object, e.pendingBuf[:0])
+	for _, p := range e.pendingBuf {
+		e.pendingFollowers--
+		plat := e.now - int(p.Arrived)
+		if res {
+			e.servedCache++
+			e.cacheHitBytes += e.cache.Bytes(r.object)
+			if plat -= e.cache.PrefixLen(); plat < 0 {
+				plat = 0
+			}
+		}
+		e.startFollower(int(p.Station), r.object, end, plat)
+	}
+}
+
+// finishFollowers completes follower displays due this interval.  The
+// wheel advances exactly one tick per interval, so step drains it
+// unconditionally whenever the tier is on; entries whose generation is
+// stale (the follower was detached by a leader abort) are skipped.
+func (e *Engine) finishFollowers() {
+	e.followerBuf = e.followerWheel.Due(e.now, e.followerBuf[:0])
+	for _, fr := range e.followerBuf {
+		st := fr.station
+		if !e.followerActive[st] || e.followerGen[st] != fr.gen {
+			continue
+		}
+		e.followerActive[st] = false
+		e.activeFollowers--
+		obj := int(e.followerObj[st])
+		e.cache.RemoveFollower(obj, st)
+		e.completed++
+		e.completedTotal++
+		e.stn.Complete(int(st))
+		e.emit(EvComplete, obj, int(st), "follower")
+		e.reissue(int(st))
+	}
+}
+
+// detachFollowers ends the followers sharing station s's stream when
+// that leader display is aborted: without the leader's disk streams
+// there is nothing multicasting the tail, so the followers abort too
+// and their stations rejoin the loop.
+func (e *Engine) detachFollowers(s, object int) {
+	buf, ok := e.cache.DetachIfLeader(object, int32(s), e.now, e.detachBuf[:0])
+	e.detachBuf = buf
+	if !ok {
+		return
+	}
+	for _, st := range buf {
+		if !e.followerActive[st] {
+			continue
+		}
+		e.followerGen[st]++ // stales the wheel entry
+		e.followerActive[st] = false
+		e.activeFollowers--
+		e.aborted++
+		e.abortedTotal++
+		e.stn.Complete(int(st))
+		e.emit(EvAbort, object, int(st), "follower")
+		e.reissue(int(st))
+	}
+}
+
+// rejectPending refuses the batched followers of an object whose last
+// queued leader request was just rejected: nobody is left to board.
+func (e *Engine) rejectPending(object int) {
+	e.pendingBuf = e.cache.TakePending(object, e.pendingBuf[:0])
+	for _, p := range e.pendingBuf {
+		e.pendingFollowers--
+		e.rejectedDeg++
+		e.stn.Complete(int(p.Station))
+		e.emit(EvReject, object, int(p.Station), "follower")
+		e.reissue(int(p.Station))
+	}
+}
+
+// cacheStagingAborted detaches the batched followers of an object
+// whose tertiary staging was abandoned mid-flight (fault kill or Place
+// starvation): the leader request they were waiting on may not admit
+// for a long time, if ever, so they requeue as ordinary requests
+// instead of sitting in the batch.  Safe at every abandonment site —
+// they all precede the admission scan within the interval.  No-op when
+// the tier is off.
+func (e *Engine) cacheStagingAborted(object int) {
+	if e.cache == nil || object < 0 {
+		return
+	}
+	e.pendingBuf = e.cache.TakePending(object, e.pendingBuf[:0])
+	for _, p := range e.pendingBuf {
+		e.pendingFollowers--
+		if e.pinned[object] == 0 {
+			e.batchAnchor[object] = p.Arrived
+		}
+		req := request{station: int(p.Station), object: object, arrived: int(p.Arrived)}
+		// Already counted in requests at original arrival — this is the
+		// queueing tail of record, not a new reference.
+		e.queue = append(e.queue, req)
+		e.pinned[object]++
+		e.lfu.Touch(object)
+		e.emit(EvRequest, object, req.station, "follower detached")
+		e.tech.onEnqueue(req)
+	}
+}
+
+// openArrivals drives the engine as an open system: a Poisson stream
+// of requests at ArrivalsPerHour, each occupying an idle station for
+// its display.  Arrivals that find every station busy are rejected —
+// the open-system analogue of queueing delay in the closed loop.
+type openArrivals struct {
+	stream  rng.Stream
+	idle    []int   // LIFO pool of idle stations
+	nextAt  float64 // seconds of the next arrival
+	meanGap float64 // mean seconds between arrivals
+
+	rejected      int // window counter
+	rejectedTotal int
+}
+
+func newOpenArrivals(cfg Config) *openArrivals {
+	o := &openArrivals{meanGap: 3600 / cfg.ArrivalsPerHour}
+	o.stream = *rng.NewSource(cfg.Seed).Stream("arrivals")
+	// LIFO init in reverse so station 0 serves the first arrival.
+	o.idle = make([]int, cfg.Stations)
+	for i := range o.idle {
+		o.idle[i] = cfg.Stations - 1 - i
+	}
+	o.nextAt = o.stream.Exp(o.meanGap)
+	return o
+}
+
+// drawArrivals admits every arrival due within the current interval.
+func (e *Engine) drawArrivals() {
+	o := e.open
+	limit := float64(e.now+1) * e.cfg.IntervalSeconds()
+	for o.nextAt < limit {
+		if n := len(o.idle); n > 0 {
+			s := o.idle[n-1]
+			o.idle = o.idle[:n-1]
+			e.enqueue(s)
+		} else {
+			o.rejected++
+			o.rejectedTotal++
+		}
+		o.nextAt += o.stream.Exp(o.meanGap)
+	}
+}

@@ -15,6 +15,7 @@ package sched
 import (
 	"fmt"
 
+	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
 	"github.com/mmsim/staggered/internal/tertiary"
@@ -118,6 +119,27 @@ type Config struct {
 	// 0 selects the default of 2; negative aborts immediately.
 	FaultHiccupLimit int
 
+	// Cache configures the optional memory tier (DESIGN.md §12): a
+	// popularity-aware prefix cache plus multicast stream sharing.
+	// Nil or zero-valued disables it, and the disk-only path pays a
+	// single nil check per hook — the golden dumps are pinned
+	// byte-identical with the tier compiled in but disabled.
+	Cache *cache.Spec
+
+	// ZipfSkew, when positive, replaces the paper's truncated-geometric
+	// object popularity with Zipf(theta): P(i) ∝ 1/(i+1)^theta over the
+	// object catalog.  The cache experiments use it to model a hot head
+	// hit by millions of users.  DistMean is ignored for draws (but
+	// still validated/reported) when set.
+	ZipfSkew float64
+
+	// ArrivalsPerHour, when positive, switches the workload from the
+	// paper's closed system to an open one: requests arrive in a
+	// Poisson stream at this rate and each occupies an idle station for
+	// its display; arrivals finding no idle station are counted as
+	// OpenRejected.  Mutually exclusive with ThinkMeanSeconds.
+	ArrivalsPerHour float64
+
 	// Shards partitions the stations into this many contiguous blocks,
 	// each with its own wake-up wheel, think-time stream (split via
 	// rng.NewStream(seed, shard)), and admission scratch, so the
@@ -203,8 +225,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: shard count must be non-negative")
 	case c.Workers < 0:
 		return fmt.Errorf("sched: worker count must be non-negative")
+	case c.ZipfSkew < 0:
+		return fmt.Errorf("sched: zipf skew must be non-negative")
+	case c.ArrivalsPerHour < 0:
+		return fmt.Errorf("sched: arrival rate must be non-negative")
+	case c.ArrivalsPerHour > 0 && c.ThinkMeanSeconds > 0:
+		return fmt.Errorf("sched: open arrivals and think time are mutually exclusive")
 	}
 	if err := c.Faults.Validate(c.D); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
 		return err
 	}
 	if c.Degrees != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/policy"
 	"github.com/mmsim/staggered/internal/rng"
@@ -95,6 +96,24 @@ type Engine struct {
 	now    int
 	tracer Tracer
 
+	// Cache tier (DESIGN.md §12).  All of this stays nil/zero when
+	// Config.Cache is disabled, so the disk-only path pays one nil
+	// check per hook and the golden dumps are untouched.
+	cache            *cache.Tier
+	followerWheel    *sim.TickWheel[followerRef] // follower display completions
+	followerBuf      []followerRef               // reused Due drain buffer
+	followerGen      []int32                     // station -> generation, stales wheel entries
+	followerActive   []bool                      // station -> follower display in flight
+	followerObj      []int32                     // station -> object the follower views
+	activeFollowers  int
+	pendingFollowers int
+	batchAnchor      []int32 // object -> arrival interval anchoring the open batch
+	detachBuf        []int32
+	pendingBuf       []cache.Pending
+
+	// Open Poisson arrivals (nil = the paper's closed loop).
+	open *openArrivals
+
 	// Fault state.  All slices stay nil on a fault-free run (empty
 	// plan) so the hot path pays a single nil check per interval.
 	faultEvents []fault.Event // sorted plan, nil when empty
@@ -124,6 +143,11 @@ type Engine struct {
 	rejectedDeg int
 	starved     int
 
+	// Cache-tier window counters.
+	servedCache      int
+	batchedFollowers int
+	cacheHitBytes    int64
+
 	// Lifetime counters (never window-reset): the chaos harness's
 	// conservation invariant and RunChecked's starvation check must see
 	// warm-up activity too.
@@ -140,7 +164,16 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	gen, err := workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
+	var gen *workload.Generator
+	var err error
+	if cfg.ZipfSkew > 0 {
+		var dist *rng.Discrete
+		if dist, err = rng.Zipf(cfg.Objects, cfg.ZipfSkew); err == nil {
+			gen, err = workload.NewGeneratorDist(rng.NewSource(cfg.Seed), dist, cfg.Stations)
+		}
+	} else {
+		gen, err = workload.NewGenerator(rng.NewSource(cfg.Seed), cfg.Objects, cfg.DistMean, cfg.Stations)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +202,12 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 		e.diskDown = make([]bool, cfg.D)
 		e.diskSlow = make([]bool, cfg.D)
 		e.hiccupLimit = cfg.faultHiccupLimitOrDefault()
+	}
+	if cfg.Cache.Enabled() {
+		e.bindCache()
+	}
+	if cfg.ArrivalsPerHour > 0 {
+		e.open = newOpenArrivals(cfg)
 	}
 	if err := tech.bind(e); err != nil {
 		return nil, err
@@ -217,6 +256,14 @@ func (e *Engine) enqueue(s int) {
 // and always runs on the interval goroutine.
 func (e *Engine) record(req request) {
 	e.requests++
+	if e.cache != nil {
+		if e.tryCacheServe(req) {
+			return
+		}
+		if e.batchAnchor != nil && e.pinned[req.object] == 0 {
+			e.batchAnchor[req.object] = int32(req.arrived)
+		}
+	}
 	e.queue = append(e.queue, req)
 	e.pinned[req.object]++
 	e.lfu.Touch(req.object)
@@ -230,6 +277,12 @@ func (e *Engine) record(req request) {
 // reissue is only ever called from the sequential phases (merge,
 // interval), so the draw order per shard stream is deterministic.
 func (e *Engine) reissue(s int) {
+	if e.open != nil {
+		// Open system: the station goes idle and waits for the next
+		// Poisson arrival instead of looping back immediately.
+		e.open.idle = append(e.open.idle, s)
+		return
+	}
 	if e.cfg.ThinkMeanSeconds <= 0 {
 		e.enqueue(s)
 		return
@@ -259,6 +312,12 @@ func (e *Engine) reissue(s int) {
 func (e *Engine) step() {
 	if e.faultEvents != nil {
 		e.applyFaults()
+	}
+	if e.cache != nil {
+		e.finishFollowers()
+	}
+	if e.open != nil {
+		e.drawArrivals()
 	}
 	if e.shards != nil {
 		e.drainShards()
@@ -380,6 +439,9 @@ func (e *Engine) countAbort(s, object int) {
 	e.stn.Complete(s)
 	e.emit(EvAbort, object, s, "")
 	e.reissue(s)
+	if e.cache != nil {
+		e.detachFollowers(s, object)
+	}
 }
 
 // countReject refuses an admission because the object's layout
@@ -391,6 +453,9 @@ func (e *Engine) countReject(r request) {
 	e.stn.Complete(r.station)
 	e.emit(EvReject, r.object, r.station, "")
 	e.reissue(r.station)
+	if e.cache != nil && e.pinned[r.object] == 0 {
+		e.rejectPending(r.object)
+	}
 }
 
 // countStarved records a materialization abandoned at the Place retry
@@ -399,6 +464,7 @@ func (e *Engine) countStarved(object int) {
 	e.starved++
 	e.starvedTotal++
 	e.emit(EvStarve, object, -1, "")
+	e.cacheStagingAborted(object)
 }
 
 // Run executes warm-up and measurement and returns the statistics.
@@ -413,8 +479,10 @@ func (e *Engine) Run() Result {
 			e.pool = nil
 		}()
 	}
-	for s := 0; s < e.cfg.Stations; s++ {
-		e.enqueue(s)
+	if e.open == nil {
+		for s := 0; s < e.cfg.Stations; s++ {
+			e.enqueue(s)
+		}
 	}
 	for e.now < e.cfg.WarmupIntervals {
 		e.step()
@@ -424,6 +492,10 @@ func (e *Engine) Run() Result {
 	e.admitted = e.admitted[:0]
 	e.busyArea, e.tertBusy = 0, 0
 	e.requests, e.degHiccups, e.aborted, e.rejectedDeg, e.starved = 0, 0, 0, 0, 0
+	e.servedCache, e.batchedFollowers, e.cacheHitBytes = 0, 0, 0
+	if e.open != nil {
+		e.open.rejected = 0
+	}
 
 	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
 	for e.now < end {
@@ -450,6 +522,13 @@ func (e *Engine) Run() Result {
 		AbortedDisplays:         e.aborted,
 		RejectedDegraded:        e.rejectedDeg,
 		StarvedMaterializations: e.starved,
+
+		ServedFromCache:  e.servedCache,
+		BatchedFollowers: e.batchedFollowers,
+		CacheHitBytes:    e.cacheHitBytes,
+	}
+	if e.open != nil {
+		res.OpenRejected = e.open.rejected
 	}
 	for _, l := range e.admitted {
 		res.Latency.Add(l)

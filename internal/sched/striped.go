@@ -327,6 +327,7 @@ func (t *stripedTech) abortDisplay(d int32) {
 // than published, and the device request is dropped (stations still
 // wanting the object re-request it on their next admission scan).
 func (t *stripedTech) abortStaging() {
+	t.eng.cacheStagingAborted(t.matObject)
 	for _, v := range t.matVdisks {
 		t.setVBusy(v, freeSlot)
 	}
@@ -1048,8 +1049,7 @@ func (t *stripedTech) start(r request, first int, vids, ts []int, tmax int) {
 	}
 	t.active++
 	t.byObject[r.object]++
-	e.admittedTotal++
-	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
+	e.noteAdmit(r, tmax)
 	if e.tracer != nil {
 		e.emit(EvAdmit, r.object, r.station, fmt.Sprintf("first=%d tmax=%d", first, tmax))
 	}

@@ -301,6 +301,11 @@ func (t *vdrTech) abortCopy(c int) {
 // object, a replication staging is simply dropped (the replication
 // trigger re-fires if still warranted).
 func (t *vdrTech) abortStaging() {
+	if t.matFromTman {
+		// A miss staging has batched followers waiting on the queued
+		// leader request; detach them before the object is dropped.
+		t.eng.cacheStagingAborted(t.matObject)
+	}
 	if t.matStarted {
 		t.clearJob(t.matCluster)
 	}
@@ -643,8 +648,7 @@ func (t *vdrTech) startDisplay(r request, c int) {
 	t.setJob(c, jobDisplay, r.object, e.now+t.cfg.Subobjects)
 	t.station[c] = int32(r.station)
 	e.pinned[r.object]--
-	e.admittedTotal++
-	e.admitted = append(e.admitted, float64(e.now-r.arrived)*t.cfg.IntervalSeconds())
+	e.noteAdmit(r, 0)
 }
 
 // maybeReplicate creates an additional replica of a contended object

@@ -63,6 +63,22 @@ func NewGenerator(src *rng.Source, n int, mean float64, stations int) (*Generato
 	return g, nil
 }
 
+// NewGeneratorDist builds a generator over an explicit popularity
+// distribution (e.g. rng.Zipf for the cache experiments' hot-head
+// workloads).  The distribution must be monotone non-increasing in
+// object id for TopObjects to stay meaningful; rng's constructors all
+// are.
+func NewGeneratorDist(src *rng.Source, dist *rng.Discrete, stations int) (*Generator, error) {
+	if stations <= 0 {
+		return nil, fmt.Errorf("workload: need at least one station, got %d", stations)
+	}
+	g := &Generator{dist: dist, streams: make([]rng.Stream, stations)}
+	for i := range g.streams {
+		g.streams[i] = *src.StreamN("station", i)
+	}
+	return g, nil
+}
+
 // Stations returns the number of stations.
 func (g *Generator) Stations() int { return len(g.streams) }
 

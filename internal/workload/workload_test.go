@@ -19,6 +19,35 @@ func TestGeneratorValidation(t *testing.T) {
 	}
 }
 
+func TestGeneratorDist(t *testing.T) {
+	dist, err := rng.Zipf(40, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeneratorDist(rng.NewSource(1), dist, 0); err == nil {
+		t.Error("zero stations accepted")
+	}
+	g, err := NewGeneratorDist(rng.NewSource(1), dist, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same streams as NewGenerator: only the distribution differs, so
+	// draws are deterministic and skewed toward the head.
+	counts := make([]int, 40)
+	for i := 0; i < 4000; i++ {
+		counts[g.Draw(i%4)]++
+	}
+	if counts[0] <= counts[39] {
+		t.Errorf("Zipf head not hot: counts[0]=%d counts[39]=%d", counts[0], counts[39])
+	}
+	if g.Popularity(0) <= g.Popularity(39) {
+		t.Error("Popularity not monotone")
+	}
+	if top := g.TopObjects(3); len(top) != 3 || top[0] != 0 {
+		t.Errorf("TopObjects = %v", top)
+	}
+}
+
 func TestGeneratorDeterministicPerStation(t *testing.T) {
 	mk := func() *Generator {
 		g, err := NewGenerator(rng.NewSource(42), 2000, 20, 4)

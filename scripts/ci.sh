@@ -29,6 +29,9 @@ go test -run 'TestGoldenSweep$|TestGoldenStaggered$|TestStaggeredKMMatchesSimple
 echo "== sharded engine under the race detector (workers=4, 10x trajectory)"
 go run -race ./cmd/sweep -scale 10x -workers 4 -csv
 
+echo "== cache-enabled quick sweep under the race detector (memory tier + open Zipf arrivals)"
+go run -race ./cmd/sweep -scale quick -technique striped -stations 64 -dist 20 -zipf 0.7 -arrivals 6000 -cachemb 256 -batchwindow 8 -csv
+
 echo "== quick sweep per registered technique"
 for tkey in $(go run ./cmd/sweep -list-techniques | awk '{print $1}'); do
 	echo "-- technique: $tkey"
@@ -37,7 +40,7 @@ done
 echo "-- technique: staggered (explicit stride k=1)"
 go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
 
-echo "== perf-regression report + gate (>20% ns/op over reference fails)"
-go run ./cmd/bench -out BENCH_5.json -maxregress 0.20
+echo "== perf-regression report + gate (>20% ns/op over BENCH_5 reference fails)"
+go run ./cmd/bench -out BENCH_6.json -maxregress 0.20
 
 echo "CI OK"
