@@ -11,6 +11,7 @@
 //	sweep -scale 10x              # scale-mode trajectory up to 10x quick geometry
 //	sweep -scale 100x             # scale-mode trajectory up to 100x quick geometry
 //	sweep -scale 1000x -workers 4 # 1000x trajectory, sharded multi-worker engine
+//	sweep -scale 10000x           # 10000x trajectory (500k disks, 200k stations)
 //	sweep -dist 20                # one distribution only
 //	sweep -stations 16,64,128,256 # restrict the station sweep
 //	sweep -csv                    # machine-readable output
@@ -146,7 +147,7 @@ func run() (code int) {
 	case "full":
 	case "quick":
 		scale = experiment.Quick
-	case "10x", "100x", "1000x", "1000":
+	case "10x", "100x", "1000x", "1000", "10000x":
 		return runScaleMode(*scaleFlag, *seed, *csv, *workersFlag)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scaleFlag)
@@ -218,6 +219,8 @@ func runScaleMode(mode string, seed uint64, csv bool, workers int) int {
 		factors = []int{1, 2, 5, 10}
 	case "100x":
 		factors = []int{1, 2, 5, 10, 20, 50, 100}
+	case "10000x":
+		factors = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 	default: // 1000x
 		factors = []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Store is the storage allocator for a staggered-striped disk farm.
@@ -13,17 +14,27 @@ import (
 type Store struct {
 	layout   Layout
 	capacity int // fragments per disk
-	used     []int
+	used     []int32
 	free     int // total free fragments across the farm
-	placed   []Placement // indexed by object id; valid iff resident[id]
-	resident []bool
-	count    int // number of placed objects
-	cursor   int // round-robin start hint
+	placed   []placedRec // indexed by object id; valid iff resident bit set
+	resident []uint64    // bitset, one bit per object id
+	ids      int         // logical table length: max id seen + 1
+	count    int         // number of placed objects
+	cursor   int         // round-robin start hint
 
 	// diff is the reusable difference-array scratch for footprint
 	// walks; fits and apply run once per Place probe, so at large D
 	// they must not allocate or touch disks outside the footprint.
-	diff []int
+	diff []int32
+}
+
+// placedRec is the packed per-object placement record.  First/M/N are
+// bounded by D (at most a few hundred thousand disks at the largest
+// sweep factor), so int32 fields shrink the table from 40 to 12 bytes
+// per object; the Layout is shared Store-wide and reattached when the
+// public Placement is reconstructed.
+type placedRec struct {
+	first, m, n int32
 }
 
 // NewStore returns a Store for the layout with the given per-disk
@@ -35,21 +46,50 @@ func NewStore(l Layout, capacityFragments int) (*Store, error) {
 	return &Store{
 		layout:   l,
 		capacity: capacityFragments,
-		used:     make([]int, l.D),
+		used:     make([]int32, l.D),
 		free:     l.D * capacityFragments,
 	}, nil
 }
 
-// grow extends the residency index to cover id.
-func (s *Store) grow(id int) {
-	if id >= len(s.resident) {
-		nextP := make([]Placement, id+1)
+// Reserve pre-sizes the placement and residency tables to hold n
+// object ids without reallocating.  Preload loops that place objects
+// in popularity (non-ascending id) order should call this once so the
+// tables are built in a single allocation.
+func (s *Store) Reserve(n int) {
+	if n <= len(s.placed) {
+		return
+	}
+	nextP := make([]placedRec, n)
+	copy(nextP, s.placed)
+	s.placed = nextP
+	nextR := make([]uint64, (n+63)/64)
+	copy(nextR, s.resident)
+	s.resident = nextR
+}
+
+// ensure extends the residency index to cover id with amortized
+// (capacity-doubling) growth, so out-of-order placement is O(n) total
+// rather than quadratic in reallocation traffic.
+func (s *Store) ensure(id int) {
+	if id < s.ids {
+		return
+	}
+	if id >= len(s.placed) {
+		n := len(s.placed) * 2
+		if n < id+1 {
+			n = id + 1
+		}
+		if n < 64 {
+			n = 64
+		}
+		nextP := make([]placedRec, n)
 		copy(nextP, s.placed)
 		s.placed = nextP
-		nextR := make([]bool, id+1)
+		nextR := make([]uint64, (n+63)/64)
 		copy(nextR, s.resident)
 		s.resident = nextR
 	}
+	s.ids = id + 1
 }
 
 // Layout returns the store's layout.
@@ -60,7 +100,7 @@ func (s *Store) CapacityFragments() int { return s.capacity }
 
 // Resident reports whether the object id is placed.
 func (s *Store) Resident(id int) bool {
-	return id >= 0 && id < len(s.resident) && s.resident[id]
+	return id >= 0 && id < s.ids && s.resident[id>>6]&(1<<uint(id&63)) != 0
 }
 
 // Placement returns the placement of object id.
@@ -68,7 +108,19 @@ func (s *Store) Placement(id int) (Placement, bool) {
 	if !s.Resident(id) {
 		return Placement{}, false
 	}
-	return s.placed[id], true
+	r := s.placed[id]
+	return Placement{Layout: s.layout, First: int(r.first), M: int(r.m), N: int(r.n)}, true
+}
+
+// FirstDisk returns the start disk of object id's placement.  The
+// admission scans only need the anchor disk (degree and length come
+// from the configuration), so this avoids reconstructing the full
+// Placement on the per-request hot path.
+func (s *Store) FirstDisk(id int) (int, bool) {
+	if !s.Resident(id) {
+		return 0, false
+	}
+	return int(s.placed[id].first), true
 }
 
 // ResidentCount returns the number of placed objects.
@@ -77,16 +129,21 @@ func (s *Store) ResidentCount() int { return s.count }
 // ResidentIDs returns the ids of all placed objects in ascending order.
 func (s *Store) ResidentIDs() []int {
 	ids := make([]int, 0, s.count)
-	for id, ok := range s.resident {
-		if ok {
+	for w, word := range s.resident {
+		for word != 0 {
+			id := w*64 + bits.TrailingZeros64(word)
+			if id >= s.ids {
+				break
+			}
 			ids = append(ids, id)
+			word &= word - 1
 		}
 	}
 	return ids
 }
 
 // Used returns the number of fragments stored on disk d.
-func (s *Store) Used(d int) int { return s.used[d] }
+func (s *Store) Used(d int) int { return int(s.used[d]) }
 
 // FreeFragments returns the total free fragments across the farm.
 func (s *Store) FreeFragments() int { return s.free }
@@ -106,7 +163,7 @@ func (s *Store) footprint(p Placement, fn func(d, c int) bool) bool {
 		w = d
 	}
 	if cap(s.diff) < w+1 {
-		s.diff = make([]int, w+1)
+		s.diff = make([]int32, w+1)
 	}
 	diff := s.diff[:w+1]
 	for i := range diff {
@@ -130,10 +187,10 @@ func (s *Store) footprint(p Placement, fn func(d, c int) bool) bool {
 			diff[end-w]--
 		}
 	}
-	run := 0
+	run := int32(0)
 	for i := 0; i < w; i++ {
 		run += diff[i]
-		if run > 0 && !fn((p.First+i)%d, run) {
+		if run > 0 && !fn((p.First+i)%d, int(run)) {
 			return false
 		}
 	}
@@ -144,14 +201,14 @@ func (s *Store) footprint(p Placement, fn func(d, c int) bool) bool {
 // space of every disk it touches.
 func (s *Store) fits(p Placement) bool {
 	return s.footprint(p, func(d, c int) bool {
-		return s.used[d]+c <= s.capacity
+		return int(s.used[d])+c <= s.capacity
 	})
 }
 
 // apply adds (sign=+1) or removes (sign=-1) the placement's footprint.
 func (s *Store) apply(p Placement, sign int) {
 	s.footprint(p, func(d, c int) bool {
-		s.used[d] += sign * c
+		s.used[d] += int32(sign * c)
 		s.free -= sign * c
 		return true
 	})
@@ -173,9 +230,9 @@ func (s *Store) PlaceAt(id, first, m, n int) (Placement, error) {
 			id, p.TotalFragments(), first)
 	}
 	s.apply(p, +1)
-	s.grow(id)
-	s.placed[id] = p
-	s.resident[id] = true
+	s.ensure(id)
+	s.placed[id] = placedRec{first: int32(p.First), m: int32(p.M), n: int32(p.N)}
+	s.resident[id>>6] |= 1 << uint(id&63)
 	s.count++
 	return p, nil
 }
@@ -221,9 +278,10 @@ func (s *Store) Evict(id int) error {
 	if !s.Resident(id) {
 		return fmt.Errorf("core: object %d not placed", id)
 	}
-	s.apply(s.placed[id], -1)
-	s.placed[id] = Placement{}
-	s.resident[id] = false
+	p, _ := s.Placement(id)
+	s.apply(p, -1)
+	s.placed[id] = placedRec{}
+	s.resident[id>>6] &^= 1 << uint(id&63)
 	s.count--
 	return nil
 }

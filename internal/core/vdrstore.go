@@ -46,13 +46,26 @@ func NewVDRStore(d, m, capacityFragments int) (*VDRStore, error) {
 	}, nil
 }
 
-// grow extends the replica table to cover id.
+// grow extends the replica table to cover id with amortized
+// (capacity-doubling) growth so out-of-order placement stays O(n).
 func (v *VDRStore) grow(id int) {
-	if id >= len(v.replicas) {
-		next := make([][]int, id+1)
-		copy(next, v.replicas)
-		v.replicas = next
+	if id < len(v.replicas) {
+		return
 	}
+	if id < cap(v.replicas) {
+		v.replicas = v.replicas[:id+1]
+		return
+	}
+	n := cap(v.replicas) * 2
+	if n < id+1 {
+		n = id + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	next := make([][]int, id+1, n)
+	copy(next, v.replicas)
+	v.replicas = next
 }
 
 // replicasOf returns the (possibly nil) replica list of id without

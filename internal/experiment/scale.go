@@ -110,8 +110,17 @@ func RunScalePointOpts(factor int, seed uint64, opts ScaleOptions) (ScalePoint, 
 	start := time.Now()
 	res := e.Run()
 	wall := time.Since(start).Seconds()
+	// Collect before sampling, and only after the wall clock is taken:
+	// without the forced GC, HeapAlloc includes whatever garbage the GC
+	// happened not to have swept yet, so the number would measure
+	// collector timing instead of the engine's live tables.  The
+	// KeepAlive below stops that same GC from also collecting the
+	// engine — dead after Run — which would zero the very footprint
+	// being measured.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	defer runtime.KeepAlive(e)
 	intervals := cfg.WarmupIntervals + cfg.MeasureIntervals
 	p := ScalePoint{
 		Factor:      factor,

@@ -30,13 +30,26 @@ func NewLFU() *LFU {
 	return &LFU{}
 }
 
-// grow extends the table to cover id.
+// grow extends the table to cover id with amortized (capacity-
+// doubling) growth so out-of-order first touches stay O(n).
 func (l *LFU) grow(id int) {
-	if id >= len(l.counts) {
-		next := make([]int64, id+1)
-		copy(next, l.counts)
-		l.counts = next
+	if id < len(l.counts) {
+		return
 	}
+	if id < cap(l.counts) {
+		l.counts = l.counts[:id+1]
+		return
+	}
+	n := cap(l.counts) * 2
+	if n < id+1 {
+		n = id + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	next := make([]int64, id+1, n)
+	copy(next, l.counts)
+	l.counts = next
 }
 
 // Touch records one access to object id.

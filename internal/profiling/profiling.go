@@ -13,7 +13,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 )
+
+// phaseLabelsOn records that a CPU profile is being collected, so the
+// engines attach pprof phase labels to their interval phases.  Engines
+// latch it at construction; Start must run before they are built (the
+// CLI tools parse -cpuprofile before building engines).
+var phaseLabelsOn atomic.Bool
+
+// PhaseLabelsEnabled reports whether interval engines should label
+// their phases for an active CPU profile.
+func PhaseLabelsEnabled() bool { return phaseLabelsOn.Load() }
 
 // Start begins the profiles selected by the (possibly empty) file
 // paths and returns a stop function that must run before the process
@@ -29,6 +40,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
+		phaseLabelsOn.Store(true)
 	}
 	return func() error {
 		if cpuFile != nil {

@@ -1,9 +1,13 @@
 package sched
 
 import (
+	"context"
+	"runtime/pprof"
+
 	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/policy"
+	"github.com/mmsim/staggered/internal/profiling"
 	"github.com/mmsim/staggered/internal/rng"
 	"github.com/mmsim/staggered/internal/sim"
 	"github.com/mmsim/staggered/internal/tertiary"
@@ -86,15 +90,20 @@ type Engine struct {
 	shards *shardSet
 	pool   *workerPool // live only inside Run when Workers > 1
 
-	queue        []request
-	queueScratch []request
-	pinned       []int               // object -> queued request count
-	wakeups      *sim.TickWheel[int] // interval -> stations whose think time ends
-	wakeupBuf    []int               // reused Due drain buffer
-	reissueBuf   []int               // stations to reissue after completions
+	queue      []request
+	pinned     []int32             // object -> queued request count
+	wakeups    *sim.TickWheel[int] // interval -> stations whose think time ends
+	wakeupBuf  []int               // reused Due drain buffer
+	reissueBuf []int               // stations to reissue after completions
 
 	now    int
 	tracer Tracer
+
+	// phaseLabels is latched at construction when a CPU profile is
+	// being collected; the interval loop branches to pprof-labeled
+	// phase wrappers only then, so the unprofiled hot path pays one
+	// bool check and zero allocations.
+	phaseLabels bool
 
 	// Cache tier (DESIGN.md §12).  All of this stays nil/zero when
 	// Config.Cache is disabled, so the disk-only path pays one nil
@@ -116,12 +125,13 @@ type Engine struct {
 
 	// Fault state.  All slices stay nil on a fault-free run (empty
 	// plan) so the hot path pays a single nil check per interval.
-	faultEvents []fault.Event // sorted plan, nil when empty
-	faultCursor int
-	diskDown    []bool
-	downCount   int
-	diskSlow    []bool
-	slowCount   int
+	faultEvents  []fault.Event // sorted plan, nil when empty
+	faultCursor  int
+	diskDown     []bool
+	downCount    int
+	diskSlow     []bool
+	slowCount    int
+	faultedDisks []int32 // sorted disks currently down or slow: the active set of the degraded scans
 	tertDown    bool
 	maskEpoch   int // bumped on every effective disk up/down flip
 	hiccupLimit int // consecutive degraded intervals before abort
@@ -178,14 +188,15 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		tech:    tech,
-		lfu:     policy.NewLFU(),
-		tman:    tertiary.NewManager(),
-		gen:     gen,
-		stn:     workload.NewStations(gen),
-		pinned:  make([]int, cfg.Objects),
-		wakeups: sim.NewTickWheel[int](),
+		cfg:         cfg,
+		tech:        tech,
+		lfu:         policy.NewLFU(),
+		tman:        tertiary.NewManager(),
+		gen:         gen,
+		stn:         workload.NewStations(gen),
+		pinned:      make([]int32, cfg.Objects),
+		wakeups:     sim.NewTickWheel[int](),
+		phaseLabels: profiling.PhaseLabelsEnabled(),
 	}
 	if cfg.Shards > 1 {
 		e.shards = newShardSet(cfg.Seed, cfg.Stations, cfg.Shards)
@@ -228,6 +239,15 @@ func (e *Engine) parallel(n int, fn func(i int)) {
 	for i := 0; i < n; i++ {
 		fn(i)
 	}
+}
+
+// labeled runs fn under a pprof "phase" label so -cpuprofile output
+// attributes interval time to admit/finishDue/merge/cache instead of
+// one flat run frame.  Callers must branch on Engine.phaseLabels
+// first: the label machinery allocates, so the unprofiled hot path
+// never enters here.
+func labeled(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) { fn() })
 }
 
 // workers returns the effective intra-run worker count.
@@ -314,13 +334,21 @@ func (e *Engine) step() {
 		e.applyFaults()
 	}
 	if e.cache != nil {
-		e.finishFollowers()
+		if e.phaseLabels {
+			labeled("cache", e.finishFollowers)
+		} else {
+			e.finishFollowers()
+		}
 	}
 	if e.open != nil {
 		e.drawArrivals()
 	}
 	if e.shards != nil {
-		e.drainShards()
+		if e.phaseLabels {
+			labeled("merge", e.drainShards)
+		} else {
+			e.drainShards()
+		}
 	} else {
 		e.wakeupBuf = e.wakeups.Due(e.now, e.wakeupBuf[:0])
 		for _, st := range e.wakeupBuf {
@@ -379,6 +407,9 @@ func (e *Engine) applyFaults() {
 				e.downCount++
 				e.maskEpoch++
 				effective = true
+				if !e.diskSlow[ev.Disk] {
+					e.addFaulted(ev.Disk)
+				}
 			}
 		case fault.DiskRepair:
 			if e.diskDown[ev.Disk] {
@@ -386,18 +417,27 @@ func (e *Engine) applyFaults() {
 				e.downCount--
 				e.maskEpoch++
 				effective = true
+				if !e.diskSlow[ev.Disk] {
+					e.removeFaulted(ev.Disk)
+				}
 			}
 		case fault.SlowStart:
 			if !e.diskSlow[ev.Disk] {
 				e.diskSlow[ev.Disk] = true
 				e.slowCount++
 				effective = true
+				if !e.diskDown[ev.Disk] {
+					e.addFaulted(ev.Disk)
+				}
 			}
 		case fault.SlowEnd:
 			if e.diskSlow[ev.Disk] {
 				e.diskSlow[ev.Disk] = false
 				e.slowCount--
 				effective = true
+				if !e.diskDown[ev.Disk] {
+					e.removeFaulted(ev.Disk)
+				}
 			}
 		case fault.TertiaryFail:
 			if !e.tertDown {
@@ -413,6 +453,31 @@ func (e *Engine) applyFaults() {
 		if effective {
 			e.emit(EvFault, ev.Disk, int(ev.Kind), ev.Kind.String())
 			e.tech.onFault(ev)
+		}
+	}
+}
+
+// addFaulted inserts disk d into the sorted active set of faulted
+// disks.  Plans hold at most a handful of concurrent faults, so the
+// sorted insert is linear; what matters is that the techniques'
+// degraded scans iterate the set in ascending disk order — the same
+// order a full O(D) walk visits — touching only faulted disks.
+func (e *Engine) addFaulted(d int) {
+	i := 0
+	for i < len(e.faultedDisks) && int(e.faultedDisks[i]) < d {
+		i++
+	}
+	e.faultedDisks = append(e.faultedDisks, 0)
+	copy(e.faultedDisks[i+1:], e.faultedDisks[i:])
+	e.faultedDisks[i] = int32(d)
+}
+
+// removeFaulted deletes disk d from the faulted active set.
+func (e *Engine) removeFaulted(d int) {
+	for i, f := range e.faultedDisks {
+		if int(f) == d {
+			e.faultedDisks = append(e.faultedDisks[:i], e.faultedDisks[i+1:]...)
+			return
 		}
 	}
 }

@@ -1,9 +1,13 @@
 package sched
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+
+	"github.com/mmsim/staggered/internal/profiling"
 )
 
 // workerPool is a bounded pool of persistent goroutines for the
@@ -46,6 +50,14 @@ func newWorkerPool(workers int) *workerPool {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer p.wg.Done()
+			if profiling.PhaseLabelsEnabled() {
+				// Tag the worker so -cpuprofile samples taken inside a
+				// parallel phase separate from the interval goroutine's;
+				// the phase label itself is inherited per task via the
+				// caller's labeled() wrapper when one is active.
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("pool", "worker")))
+			}
 			for t := range p.tasks {
 				for {
 					i := int(t.next.Add(1)) - 1

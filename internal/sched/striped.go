@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/mmsim/staggered/internal/core"
 	"github.com/mmsim/staggered/internal/fault"
@@ -48,8 +49,10 @@ type stripedTech struct {
 	layout core.Layout
 	store  *core.Store
 
-	vbusy []int32 // virtual disk -> owner display slot, matOwner, or freeSlot
-	busy  int     // count of non-free virtual disks, maintained incrementally
+	vbusy    []int32  // virtual disk -> owner display slot, matOwner, or freeSlot
+	freeBits []uint64 // bitset of free virtual disks, maintained with vbusy
+	busy     int      // count of non-free virtual disks, maintained incrementally
+	rot      int      // (K·now) mod D, cached once per interval for vdiskOf
 
 	// Display arena.  Slot s's stream i lives at s·stride+i in the
 	// stream arena; stride is the maximum degree of declustering.
@@ -69,13 +72,29 @@ type stripedTech struct {
 	minDegree int // smallest degree any object needs; prepare's farm gate
 
 	nextSeq  int32
-	active   int   // displays currently in delivery
-	byObject []int // object -> active display count
+	active   int     // displays currently in delivery
+	byObject []int32 // object -> active display count
 
 	ready []bool // object resident and fully materialized
 
+	// coldQueued counts queued requests whose object is not ready —
+	// the sum of pin counts over not-ready objects, maintained at
+	// every enqueue and readiness flip.  Together with the farm-full
+	// check it gates the admission scan: when it is zero and the farm
+	// cannot fit even the smallest object, the whole scan would re-keep
+	// every entry unchanged, so admit skips it entirely.
+	coldQueued int
+
+	// probeObj memoizes, per object, the interval its contiguous
+	// admission probe last ran.  Within one scan disks only get busier,
+	// so once an object's contiguous probe has been consumed this
+	// interval — whether it admitted a display onto those very disks or
+	// was refuted — every later contiguous probe of the same object
+	// must fail; only the fragmented fallback can still start it.
+	probeObj []int32
+
 	// Degraded-mode state (only exercised when a fault plan is set).
-	playEpoch []int     // object -> maskEpoch its playability was memoized at
+	playEpoch []int32   // object -> maskEpoch its playability was memoized at
 	playOK    []bool    // memoized playability under the current mask
 	rejectBuf []request // unplayable admissions, refused after the queue swap
 
@@ -91,6 +110,18 @@ type stripedTech struct {
 	completions [][]int32     // delivery ends (display slots), by interval mod horizon
 	coalescing  []int32       // displays with a stream still to coalesce
 	pool        []int32       // recycled contiguous display slots
+
+	// Sharded finishDue partitioning (DESIGN.md §11), nil when the
+	// engine runs unsharded.  Release and completion buckets are kept
+	// per owning shard (indexed shard·horizon + interval%horizon) so
+	// the drain's sort half can run on the worker pool with no shared
+	// writes; the apply half merges shards by admission sequence,
+	// reproducing the unsharded processing order exactly — Results are
+	// byte-identical at any worker count.
+	relShards  [][]streamRef
+	compShards [][]int32
+	dShard     []int32 // display slot -> owning shard (arena column)
+	mergeHeads []int   // per-shard merge cursors (scratch)
 
 	// Admission pre-pass annotations (DESIGN.md §11): per queue index,
 	// computed worker-parallel by prepare at the top of admit and
@@ -185,16 +216,30 @@ func (t *stripedTech) bind(e *Engine) error {
 	t.layout = layout
 	t.store = st
 	t.vbusy = make([]int32, cfg.D)
-	t.byObject = make([]int, cfg.Objects)
+	t.freeBits = make([]uint64, (cfg.D+63)/64)
+	for i := range t.freeBits {
+		t.freeBits[i] = ^uint64(0)
+	}
+	if r := cfg.D & 63; r != 0 {
+		t.freeBits[len(t.freeBits)-1] = 1<<uint(r) - 1
+	}
+	t.byObject = make([]int32, cfg.Objects)
 	t.ready = make([]bool, cfg.Objects)
-	t.playEpoch = make([]int, cfg.Objects)
+	t.probeObj = make([]int32, cfg.Objects)
+	t.playEpoch = make([]int32, cfg.Objects)
 	t.playOK = make([]bool, cfg.Objects)
 	for i := range t.playEpoch {
+		t.probeObj[i] = -1
 		t.playEpoch[i] = -1
 	}
 	t.horizon = horizon
 	t.releases = make([][]streamRef, horizon)
 	t.completions = make([][]int32, horizon)
+	if e.shards != nil {
+		t.relShards = make([][]streamRef, e.shards.n*horizon)
+		t.compShards = make([][]int32, e.shards.n*horizon)
+		t.mergeHeads = make([]int, e.shards.n)
+	}
 	t.stride = maxDegree
 	t.minDegree = minDegree
 	t.vidScratch = make([]int, maxDegree)
@@ -213,7 +258,9 @@ func (t *stripedTech) bind(e *Engine) error {
 	// (k < M and short objects) the farm cannot always be packed to
 	// the last fragment, so preloading stops at the first object that
 	// no longer fits — exactly what on-demand materialization would
-	// have produced.
+	// have produced.  Objects arrive in popularity (non-ascending id)
+	// order; Reserve keeps the store tables from reallocating per id.
+	t.store.Reserve(cfg.Objects)
 	for _, id := range e.gen.TopObjects(preload) {
 		if _, err := t.store.Place(id, cfg.Degree(id), cfg.Subobjects); err != nil {
 			break
@@ -225,14 +272,38 @@ func (t *stripedTech) bind(e *Engine) error {
 
 func (t *stripedTech) name() string { return StripingTechniqueName(t.cfg) }
 
-func (t *stripedTech) onEnqueue(request) {}
+func (t *stripedTech) onEnqueue(r request) {
+	if !t.ready[r.object] {
+		t.coldQueued++
+	}
+}
+
+// setReady flips an object's readiness and keeps coldQueued — the
+// admission scan's materialization-wait gate — in sync with the
+// object's pin count (the number of its queued requests).
+func (t *stripedTech) setReady(obj int, ready bool) {
+	if t.ready[obj] == ready {
+		return
+	}
+	if ready {
+		t.coldQueued -= int(t.eng.pinned[obj])
+	} else {
+		t.coldQueued += int(t.eng.pinned[obj])
+	}
+	t.ready[obj] = ready
+}
 
 // interval runs one interval of striping policy: claim endings,
 // tertiary progress, admissions, then Algorithm 2 coalescing when
 // enabled; it returns the busy-disk count for the utilization
 // integral.
 func (t *stripedTech) interval() int {
-	if t.eng.faultActive() {
+	e := t.eng
+	t.rot = (t.cfg.K * e.now) % t.cfg.D
+	if e.phaseLabels {
+		return t.intervalLabeled()
+	}
+	if e.faultActive() {
 		t.degradedScan()
 	}
 	t.finishDue()
@@ -240,6 +311,21 @@ func (t *stripedTech) interval() int {
 	t.admit()
 	if t.cfg.Coalescing {
 		t.coalesce()
+	}
+	return t.busy
+}
+
+// intervalLabeled is interval with each phase wrapped in a pprof
+// label, taken only while a CPU profile is being collected.
+func (t *stripedTech) intervalLabeled() int {
+	if t.eng.faultActive() {
+		t.degradedScan()
+	}
+	labeled("finishDue", t.finishDue)
+	labeled("tertiary", t.stepTertiary)
+	labeled("admit", t.admit)
+	if t.cfg.Coalescing {
+		labeled("coalesce", t.coalesce)
 	}
 	return t.busy
 }
@@ -265,15 +351,14 @@ func (t *stripedTech) onFault(ev fault.Event) {
 // ride out up to the hiccup limit of consecutive degraded intervals
 // on a DOWN disk before aborting (a slow disk only inflates the
 // hiccup count), and a materialization writing to a down disk is
-// abandoned.  The scan is gated on faultActive, so a fault-free run
-// never pays for it.
+// abandoned.  The scan iterates the engine's sorted faulted-disk
+// active set — ascending disk order, the same order the old full
+// walk visited — so its cost is O(faulted disks), not O(D).
 func (t *stripedTech) degradedScan() {
 	e := t.eng
-	for f := 0; f < t.cfg.D; f++ {
-		down, slow := e.diskFaulted(f)
-		if !down && !slow {
-			continue
-		}
+	for _, f32 := range e.faultedDisks {
+		f := int(f32)
+		down, _ := e.diskFaulted(f)
 		v := t.vdiskOf(f)
 		owner := t.vbusy[v]
 		if owner == freeSlot {
@@ -333,6 +418,7 @@ func (t *stripedTech) abortStaging() {
 	}
 	t.matVdisks = t.matVdisks[:0]
 	if t.matStarted && t.store.Resident(t.matObject) {
+		t.setReady(t.matObject, false)
 		t.eng.emit(EvEvict, t.matObject, -1, "staging aborted")
 		_ = t.store.Evict(t.matObject)
 	}
@@ -351,14 +437,14 @@ func (t *stripedTech) playable(obj int) bool {
 	if e.faultEvents == nil || e.downCount == 0 {
 		return true
 	}
-	if t.playEpoch[obj] == e.maskEpoch {
+	if t.playEpoch[obj] == int32(e.maskEpoch) {
 		return t.playOK[obj]
 	}
 	ok := true
 	if p, resident := t.store.Placement(obj); resident {
 		ok = !t.footprintHitsDown(p.First, t.cfg.Degree(obj))
 	}
-	t.playEpoch[obj] = e.maskEpoch
+	t.playEpoch[obj] = int32(e.maskEpoch)
 	t.playOK[obj] = ok
 	return ok
 }
@@ -395,22 +481,40 @@ func gcd(a, b int) int {
 func (t *stripedTech) uniqueResidents() int { return t.store.ResidentCount() }
 
 // vdiskOf maps physical disk f at the current interval to its global
-// virtual disk.
+// virtual disk, (f − K·now) mod D.  The rotation (K·now) mod D is
+// cached once per interval, so the map is a subtraction and one
+// conditional wrap instead of a full modulo chain.
 func (t *stripedTech) vdiskOf(f int) int {
-	return vdisk.VirtualAt(f, t.eng.now, t.cfg.K, t.cfg.D)
+	v := f - t.rot
+	if v < 0 {
+		v += t.cfg.D
+	}
+	return v
+}
+
+// physicalOf is the inverse map: virtual disk v to the physical disk
+// serving it this interval.
+func (t *stripedTech) physicalOf(v int) int {
+	f := v + t.rot
+	if f >= t.cfg.D {
+		f -= t.cfg.D
+	}
+	return f
 }
 
 // setVBusy transfers ownership of virtual disk v and maintains the
-// farm-busy counter — the incremental replacement for the per-interval
-// O(D) occupancy scan.  The owner is a display slot (or matOwner /
-// freeSlot), so the degraded scan can walk from a faulted physical
-// disk straight to the display it hurts.
+// farm-busy counter and the free bitset — the incremental replacement
+// for the per-interval O(D) occupancy scan.  The owner is a display
+// slot (or matOwner / freeSlot), so the degraded scan can walk from a
+// faulted physical disk straight to the display it hurts.
 func (t *stripedTech) setVBusy(v int, owner int32) {
 	if (t.vbusy[v] == freeSlot) != (owner == freeSlot) {
 		if owner == freeSlot {
 			t.busy--
+			t.freeBits[v>>6] |= 1 << uint(v&63)
 		} else {
 			t.busy++
+			t.freeBits[v>>6] &^= 1 << uint(v&63)
 		}
 	}
 	t.vbusy[v] = owner
@@ -434,6 +538,7 @@ func (t *stripedTech) allocSlot() int32 {
 	t.dDone = append(t.dDone, false)
 	t.dDeg = append(t.dDeg, 0)
 	t.dDegAt = append(t.dDegAt, -2)
+	t.dShard = append(t.dShard, 0)
 	for i := 0; i < t.stride; i++ {
 		t.sVdisk = append(t.sVdisk, -1)
 		t.sT = append(t.sT, 0)
@@ -441,62 +546,191 @@ func (t *stripedTech) allocSlot() int32 {
 	return int32(len(t.dStation) - 1)
 }
 
+// sortReleases restores (display, stream) admission order in one
+// release bucket.  Coalescing reschedules releases out of admission
+// order; hiccup accounting must match a full in-order scan, so the
+// bucket is re-sorted before applying.  Insertion sort: buckets are
+// tiny and already sorted unless a coalescing fired.  Keyed by the
+// admission sequence, not the slot — slots recycle.
+func sortReleases(refs []streamRef, dSeq []int32) {
+	for a := 1; a < len(refs); a++ {
+		for b := a; b > 0 && (dSeq[refs[b].slot] < dSeq[refs[b-1].slot] ||
+			(dSeq[refs[b].slot] == dSeq[refs[b-1].slot] && refs[b].i < refs[b-1].i)); b-- {
+			refs[b], refs[b-1] = refs[b-1], refs[b]
+		}
+	}
+}
+
+// applyRelease frees the disk of one due stream release, revalidating
+// against the display's current state (entries go stale when a
+// coalescing move rescheduled the stream or a fault aborted the
+// display).
+func (t *stripedTech) applyRelease(ref streamRef) {
+	e := t.eng
+	d := ref.slot
+	si := int(d)*t.stride + int(ref.i)
+	v := t.sVdisk[si]
+	if v < 0 || e.now != int(t.dTau0[d])+int(t.sT[si])+t.cfg.Subobjects {
+		return // stale: already released or rescheduled
+	}
+	if t.vbusy[v] != d {
+		e.hiccups++
+	}
+	t.setVBusy(int(v), freeSlot)
+	t.sVdisk[si] = -1 // released
+}
+
+// applyCompletion settles one due display completion, appending the
+// station to reissue; aborted displays were settled by the abort path.
+func (t *stripedTech) applyCompletion(d int32, reissue []int) []int {
+	e := t.eng
+	if t.dDone[d] {
+		return reissue // aborted by a fault; the abort path settled it
+	}
+	t.dDone[d] = true
+	t.active--
+	e.completed++
+	e.completedTotal++
+	e.emit(EvComplete, int(t.dObject[d]), int(t.dStation[d]), "")
+	t.byObject[t.dObject[d]]--
+	e.stn.Complete(int(t.dStation[d]))
+	reissue = append(reissue, int(t.dStation[d]))
+	// Contiguous displays are unreachable once completed (all
+	// release refs fired earlier this interval or before, and
+	// they never join the coalescing list) — recycle the slot.
+	if t.dTmax[d] == 0 {
+		t.pool = append(t.pool, d)
+	}
+	return reissue
+}
+
 // finishDue releases stream disks whose reads end this interval and
 // completes displays whose delivery has ended; completed stations
 // immediately reissue (zero think time).  Both are bucket lookups:
 // only the streams and displays that actually fire now are touched.
+// Sharded engines keep the buckets partitioned by owning shard and
+// take the parallel drain below.
 func (t *stripedTech) finishDue() {
+	if t.relShards != nil {
+		t.finishDueSharded()
+		return
+	}
 	e := t.eng
-	n := t.cfg.Subobjects
 	slot := e.now % t.horizon
 	if refs := t.releases[slot]; len(refs) > 0 {
 		t.releases[slot] = refs[:0]
-		// Coalescing reschedules releases out of admission order;
-		// restore (display, stream) order so hiccup accounting matches
-		// a full in-order scan.  Insertion sort: buckets are tiny and
-		// already sorted unless a coalescing fired.  Keyed by the
-		// admission sequence, not the slot — slots recycle.
-		for a := 1; a < len(refs); a++ {
-			for b := a; b > 0 && (t.dSeq[refs[b].slot] < t.dSeq[refs[b-1].slot] ||
-				(t.dSeq[refs[b].slot] == t.dSeq[refs[b-1].slot] && refs[b].i < refs[b-1].i)); b-- {
-				refs[b], refs[b-1] = refs[b-1], refs[b]
-			}
-		}
+		sortReleases(refs, t.dSeq)
 		for _, ref := range refs {
-			d := ref.slot
-			si := int(d)*t.stride + int(ref.i)
-			v := t.sVdisk[si]
-			if v < 0 || e.now != int(t.dTau0[d])+int(t.sT[si])+n {
-				continue // stale: already released or rescheduled
-			}
-			if t.vbusy[v] != d {
-				e.hiccups++
-			}
-			t.setVBusy(int(v), freeSlot)
-			t.sVdisk[si] = -1 // released
+			t.applyRelease(ref)
 		}
 	}
 	if ds := t.completions[slot]; len(ds) > 0 {
 		t.completions[slot] = ds[:0]
 		reissue := e.reissueBuf[:0]
 		for _, d := range ds {
-			if t.dDone[d] {
-				continue // aborted by a fault; the abort path settled it
+			reissue = t.applyCompletion(d, reissue)
+		}
+		for _, s := range reissue {
+			e.reissue(s)
+		}
+		e.reissueBuf = reissue[:0]
+	}
+}
+
+// finishDueSharded drains the per-shard release/completion buckets:
+// the sort half runs on the worker pool (shard buckets are disjoint
+// and sorting reads only the frozen dSeq column), then the apply half
+// k-way-merges the shards by admission sequence on the interval
+// goroutine.  The merged order equals the global (dSeq, stream) order
+// the unsharded drain produces, so Results are byte-identical at any
+// worker count — including worker count one.
+func (t *stripedTech) finishDueSharded() {
+	e := t.eng
+	nsh := e.shards.n
+	slot := e.now % t.horizon
+	work := 0
+	for s := 0; s < nsh; s++ {
+		work += len(t.relShards[s*t.horizon+slot])
+	}
+	// Sort each shard's release bucket by admission sequence.  The
+	// parallel path self-gates: it only pays when the pool's workers
+	// can actually run concurrently and the buckets hold enough refs.
+	if work > 0 {
+		sortShard := func(s int) {
+			sortReleases(t.relShards[s*t.horizon+slot], t.dSeq)
+		}
+		if e.pool != nil && e.pool.concurrent && work >= 64 {
+			e.parallel(nsh, sortShard)
+		} else {
+			for s := 0; s < nsh; s++ {
+				sortShard(s)
 			}
-			t.dDone[d] = true
-			t.active--
-			e.completed++
-			e.completedTotal++
-			e.emit(EvComplete, int(t.dObject[d]), int(t.dStation[d]), "")
-			t.byObject[t.dObject[d]]--
-			e.stn.Complete(int(t.dStation[d]))
-			reissue = append(reissue, int(t.dStation[d]))
-			// Contiguous displays are unreachable once completed (all
-			// release refs fired earlier this interval or before, and
-			// they never join the coalescing list) — recycle the slot.
-			if t.dTmax[d] == 0 {
-				t.pool = append(t.pool, d)
+		}
+		// Merge-apply in global (dSeq, stream) order.
+		heads := t.mergeHeads
+		for s := range heads {
+			heads[s] = 0
+		}
+		for {
+			best := -1
+			var bref streamRef
+			for s := 0; s < nsh; s++ {
+				b := t.relShards[s*t.horizon+slot]
+				if heads[s] >= len(b) {
+					continue
+				}
+				ref := b[heads[s]]
+				if best < 0 || t.dSeq[ref.slot] < t.dSeq[bref.slot] ||
+					(t.dSeq[ref.slot] == t.dSeq[bref.slot] && ref.i < bref.i) {
+					best, bref = s, ref
+				}
 			}
+			if best < 0 {
+				break
+			}
+			heads[best]++
+			t.applyRelease(bref)
+		}
+		for s := 0; s < nsh; s++ {
+			t.relShards[s*t.horizon+slot] = t.relShards[s*t.horizon+slot][:0]
+		}
+	}
+	// Completions: per-shard buckets are appended in admission order,
+	// so each is already ascending in dSeq — merge directly.
+	anyComp := false
+	for s := 0; s < nsh; s++ {
+		if len(t.compShards[s*t.horizon+slot]) > 0 {
+			anyComp = true
+			break
+		}
+	}
+	if anyComp {
+		heads := t.mergeHeads
+		for s := range heads {
+			heads[s] = 0
+		}
+		reissue := e.reissueBuf[:0]
+		for {
+			best := -1
+			var bd int32
+			for s := 0; s < nsh; s++ {
+				b := t.compShards[s*t.horizon+slot]
+				if heads[s] >= len(b) {
+					continue
+				}
+				d := b[heads[s]]
+				if best < 0 || t.dSeq[d] < t.dSeq[bd] {
+					best, bd = s, d
+				}
+			}
+			if best < 0 {
+				break
+			}
+			heads[best]++
+			reissue = t.applyCompletion(bd, reissue)
+		}
+		for s := 0; s < nsh; s++ {
+			t.compShards[s*t.horizon+slot] = t.compShards[s*t.horizon+slot][:0]
 		}
 		for _, s := range reissue {
 			e.reissue(s)
@@ -634,7 +868,7 @@ func (t *stripedTech) pressureEvict() {
 		if !t.evictable(id) {
 			continue
 		}
-		t.ready[id] = false
+		t.setReady(id, false)
 		e.emit(EvEvict, id, -1, "pressure")
 		if err := t.store.Evict(id); err != nil {
 			e.hiccups++
@@ -648,7 +882,7 @@ func (t *stripedTech) pressureEvict() {
 func (t *stripedTech) finishMaterialization() {
 	e := t.eng
 	e.emit(EvMatEnd, t.matObject, -1, "")
-	t.ready[t.matObject] = true
+	t.setReady(t.matObject, true)
 	for _, v := range t.matVdisks {
 		t.setVBusy(v, freeSlot)
 	}
@@ -690,7 +924,7 @@ func (t *stripedTech) makeRoom(obj int) bool {
 				break
 			}
 		}
-		t.ready[victim] = false
+		t.setReady(victim, false)
 		e.emit(EvEvict, victim, -1, "")
 		if err := t.store.Evict(victim); err != nil {
 			e.hiccups++
@@ -769,7 +1003,7 @@ func (t *stripedTech) prepare() {
 				t.ann[qi] = annNotReady
 				continue
 			}
-			p, ok := t.store.Placement(r.object)
+			pFirst, ok := t.store.FirstDisk(r.object)
 			if !ok {
 				t.ann[qi] = annOther
 				continue
@@ -788,11 +1022,11 @@ func (t *stripedTech) prepare() {
 			// admissions, and the scan only makes disks busier — so a
 			// probe refuted now stays refuted, and annBlocked entries
 			// skip the re-probe entirely.
-			t.annFirst[qi] = int32(p.First)
+			t.annFirst[qi] = int32(pFirst)
 			base := qi * t.stride
 			blocked := false
 			for j := 0; j < m; j++ {
-				v := t.vdiskOf((p.First + j) % t.cfg.D)
+				v := t.vdiskOf((pFirst + j) % t.cfg.D)
 				if t.vbusy[v] != freeSlot {
 					blocked = true
 					break
@@ -825,10 +1059,24 @@ func (t *stripedTech) admit() {
 	if len(e.queue) == 0 {
 		return
 	}
+	// Fast path: a saturated closed system spends most intervals with
+	// the farm too full to admit even the smallest object.  When no
+	// queued request is waiting on a materialization either (so the
+	// scan has no tertiary requests to forward) and no fault is active
+	// (so no playability rejections are pending), every entry would be
+	// re-kept unchanged — skip the whole scan.
+	if t.coldQueued == 0 && t.cfg.D-t.busy < t.minDegree && !e.faultActive() {
+		return
+	}
 	t.prepare()
 	annotated := t.annEpoch == e.now
-	kept := e.queueScratch[:0]
+	kept := e.queue[:0]
 	fragBudget := fragmentedAttemptsPerInterval
+	// faultFree is loop-invariant: fault transitions apply before the
+	// interval's technique phases, so playability cannot change inside
+	// one scan.
+	faultFree := !e.faultActive()
+	noFrag := !t.cfg.Fragmented
 scan:
 	for qi, r := range e.queue {
 		if annotated && qi < t.annLen {
@@ -863,7 +1111,9 @@ scan:
 				// occupancy and disks only get busier during the scan,
 				// so skip it; the fragmented fallback (which reads the
 				// live free set) is the only remaining way in — exactly
-				// what the inline probe would have reached.
+				// what the inline probe would have reached.  The
+				// refutation also consumes the object's probe memo.
+				t.probeObj[r.object] = int32(e.now)
 				if t.cfg.D-t.busy >= t.cfg.Degree(r.object) &&
 					t.tryFragmented(r, int(t.annFirst[qi]), t.cfg.Degree(r.object), &fragBudget) {
 					e.pinned[r.object]--
@@ -887,9 +1137,23 @@ scan:
 			}
 			continue
 		}
-		p, ok := t.store.Placement(r.object)
+		// Memo fast path: the object's contiguous probe was already
+		// consumed this interval, and the fragmented fallback cannot
+		// fire (disabled, or its per-interval budget is spent) — the
+		// full path below would deterministically re-keep this entry
+		// (no fault is active, so no playability rejection is pending
+		// either).  Skip the placement lookup and the probe entirely.
+		if faultFree && (noFrag || fragBudget <= 0) && t.probeObj[r.object] == int32(e.now) {
+			kept = append(kept, r)
+			if t.cfg.FCFSStrict {
+				kept = append(kept, e.queue[qi+1:]...)
+				break
+			}
+			continue
+		}
+		first, ok := t.store.FirstDisk(r.object)
 		if !ok { // evicted between materialization and admission
-			t.ready[r.object] = false
+			t.setReady(r.object, false)
 			e.tman.Request(r.object)
 			kept = append(kept, r)
 			if t.cfg.FCFSStrict {
@@ -907,7 +1171,7 @@ scan:
 			t.rejectBuf = append(t.rejectBuf, r)
 			continue
 		}
-		if t.cfg.D-t.busy >= t.cfg.Degree(r.object) && t.tryAdmit(r, p, &fragBudget) {
+		if t.cfg.D-t.busy >= t.cfg.Degree(r.object) && t.tryAdmit(r, first, &fragBudget) {
 			e.pinned[r.object]--
 			continue
 		}
@@ -917,7 +1181,6 @@ scan:
 			break
 		}
 	}
-	e.queueScratch = e.queue[:0]
 	e.queue = kept
 	if len(t.rejectBuf) > 0 {
 		for _, r := range t.rejectBuf {
@@ -927,16 +1190,33 @@ scan:
 	}
 }
 
+// contigConsumed consults and consumes the object's contiguous-probe
+// memo for this interval.  A hit means a contiguous probe of obj
+// already ran this scan — it either admitted a display onto exactly
+// the disks a re-probe would test or was refuted — and since disks
+// only get busier within a scan, a re-probe must fail; callers go
+// straight to the fragmented fallback.
+func (t *stripedTech) contigConsumed(obj int) bool {
+	if t.probeObj[obj] == int32(t.eng.now) {
+		return true
+	}
+	t.probeObj[obj] = int32(t.eng.now)
+	return false
+}
+
 // tryAdmit attempts a contiguous admission, falling back to
 // time-fragmented admission (Algorithm 1) for the queue head when
 // enabled.
-func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) bool {
+func (t *stripedTech) tryAdmit(r request, first int, fragBudget *int) bool {
 	m := t.cfg.Degree(r.object)
+	if t.contigConsumed(r.object) {
+		return t.tryFragmented(r, first, m, fragBudget)
+	}
 	// Contiguous: the M disks of subobject 0 must be free right now.
 	vids := t.vidScratch[:m]
 	okContig := true
 	for j := 0; j < m; j++ {
-		v := t.vdiskOf((p.First + j) % t.cfg.D)
+		v := t.vdiskOf((first + j) % t.cfg.D)
 		if t.vbusy[v] != freeSlot {
 			okContig = false
 			break
@@ -944,10 +1224,10 @@ func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) boo
 		vids[j] = v
 	}
 	if okContig {
-		t.start(r, p.First, vids, t.zeroTs[:m], 0)
+		t.start(r, first, vids, t.zeroTs[:m], 0)
 		return true
 	}
-	return t.tryFragmented(r, p.First, m, fragBudget)
+	return t.tryFragmented(r, first, m, fragBudget)
 }
 
 // tryAdmitAnn is tryAdmit on a pre-annotated entry: the contiguous
@@ -956,6 +1236,9 @@ func (t *stripedTech) tryAdmit(r request, p core.Placement, fragBudget *int) boo
 // probe would produce.
 func (t *stripedTech) tryAdmitAnn(r request, qi int, fragBudget *int) bool {
 	m := t.cfg.Degree(r.object)
+	if t.contigConsumed(r.object) {
+		return t.tryFragmented(r, int(t.annFirst[qi]), m, fragBudget)
+	}
 	base := qi * t.stride
 	vids := t.vidScratch[:m]
 	okContig := true
@@ -981,10 +1264,15 @@ func (t *stripedTech) tryFragmented(r request, first, m int, fragBudget *int) bo
 		return false
 	}
 	*fragBudget--
+	// Build the free-disk list from the free bitset: ascending virtual
+	// disk order, the same content and order the old O(D) vbusy walk
+	// produced, at a word of occupancy per 64 disks.
 	free := t.freeScratch[:0]
-	for v, o := range t.vbusy {
-		if o == freeSlot {
-			free = append(free, vdisk.Physical(v, t.eng.now, t.cfg.K, t.cfg.D))
+	for w, word := range t.freeBits {
+		for word != 0 {
+			v := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			free = append(free, t.physicalOf(v))
 		}
 	}
 	t.freeScratch = free[:0]
@@ -1031,6 +1319,11 @@ func (t *stripedTech) start(r request, first int, vids, ts []int, tmax int) {
 	t.dDone[d] = false
 	t.dDeg[d] = 0
 	t.dDegAt[d] = -2 // never degraded: -2 is adjacent to no interval
+	ringOff := 0
+	if t.relShards != nil {
+		t.dShard[d] = e.shards.shardOf[r.station]
+		ringOff = int(t.dShard[d]) * t.horizon
+	}
 	base := int(d) * t.stride
 	for i := range vids {
 		if t.vbusy[vids[i]] != freeSlot {
@@ -1040,10 +1333,18 @@ func (t *stripedTech) start(r request, first int, vids, ts []int, tmax int) {
 		t.sVdisk[base+i] = int32(vids[i])
 		t.sT[base+i] = int32(ts[i])
 		slot := (e.now + ts[i] + n) % t.horizon
-		t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
+		if t.relShards != nil {
+			t.relShards[ringOff+slot] = append(t.relShards[ringOff+slot], streamRef{slot: d, i: int32(i)})
+		} else {
+			t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
+		}
 	}
 	slot := (e.now + tmax + n) % t.horizon // deliveryEnd + 1
-	t.completions[slot] = append(t.completions[slot], d)
+	if t.relShards != nil {
+		t.compShards[ringOff+slot] = append(t.compShards[ringOff+slot], d)
+	} else {
+		t.completions[slot] = append(t.completions[slot], d)
+	}
 	if tmax > 0 {
 		t.coalescing = append(t.coalescing, d)
 	}
@@ -1096,7 +1397,12 @@ func (t *stripedTech) coalesce() {
 			t.sVdisk[base+i] = int32(ideal)
 			t.sT[base+i] = int32(tmax)
 			slot := (tau0 + tmax + n) % t.horizon
-			t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
+			if t.relShards != nil {
+				ringOff := int(t.dShard[d]) * t.horizon
+				t.relShards[ringOff+slot] = append(t.relShards[ringOff+slot], streamRef{slot: d, i: int32(i)})
+			} else {
+				t.releases[slot] = append(t.releases[slot], streamRef{slot: d, i: int32(i)})
+			}
 			e.coalescings++
 			if e.tracer != nil {
 				e.emit(EvCoalesce, int(t.dObject[d]), int(t.dStation[d]), fmt.Sprintf("fragment %d", i))

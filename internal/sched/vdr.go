@@ -51,8 +51,20 @@ type vdrTech struct {
 	station   []int32 // station of a display job
 
 	busyClusters int                 // clusters with a non-idle job
+	displayJobs  int                 // clusters currently running a display
 	endings      *sim.TickWheel[int] // interval -> clusters whose job ends
 	endBuf       []int               // reused Due drain buffer
+
+	// Sharded endings partitioning (DESIGN.md §11), nil when the engine
+	// runs unsharded.  Cluster c's completions live on the wheel of
+	// shard c·nshards/clusters — a contiguous, monotone mapping — so
+	// the drain-and-sort half runs on the worker pool with no shared
+	// writes, and applying shards in ascending order reproduces the
+	// unsharded ascending-cluster order exactly.  All revalidation
+	// (stale entries, duplicate same-interval entries) stays in the
+	// sequential apply loop.
+	endShards []*sim.TickWheel[int]
+	endBufs   [][]int
 	copyTargets  []int               // object -> in-flight disk-to-disk copies
 	totalCopies  int                 // total in-flight disk-to-disk copies
 
@@ -121,6 +133,13 @@ func (t *vdrTech) bind(e *Engine) error {
 	t.repl = repl
 	t.clusters = cfg.D / cfg.M
 	t.endings = sim.NewTickWheel[int]()
+	if e.shards != nil {
+		t.endShards = make([]*sim.TickWheel[int], e.shards.n)
+		for s := range t.endShards {
+			t.endShards[s] = sim.NewTickWheel[int]()
+		}
+		t.endBufs = make([][]int, e.shards.n)
+	}
 	t.copyTargets = make([]int, cfg.Objects)
 	t.replQueued = make([]bool, cfg.Objects)
 	t.matObject = -1
@@ -194,6 +213,9 @@ func (t *vdrTech) onEnqueue(request) { t.totalRefs++ }
 // tertiary progress, then the admission scan; it returns the busy
 // disk count (busy clusters × M) for the utilization integral.
 func (t *vdrTech) interval() int {
+	if t.eng.phaseLabels {
+		return t.intervalLabeled()
+	}
 	if t.eng.faultActive() {
 		t.degradedScan()
 	}
@@ -203,15 +225,21 @@ func (t *vdrTech) interval() int {
 	return t.busyClusters * t.cfg.M
 }
 
-func (t *vdrTech) activeDisplays() int {
-	n := 0
-	for _, j := range t.job {
-		if j == jobDisplay {
-			n++
-		}
+// intervalLabeled is interval with each phase wrapped in a pprof
+// label, taken only while a CPU profile is being collected.
+func (t *vdrTech) intervalLabeled() int {
+	if t.eng.faultActive() {
+		t.degradedScan()
 	}
-	return n
+	labeled("finishDue", t.finishDue)
+	labeled("tertiary", t.stepTertiary)
+	labeled("admit", t.admit)
+	return t.busyClusters * t.cfg.M
 }
+
+// activeDisplays returns the display-job count, maintained
+// incrementally by setJob/clearJob instead of walking all clusters.
+func (t *vdrTech) activeDisplays() int { return t.displayJobs }
 
 // onFault maintains the per-cluster fault tallies.  A repaired
 // cluster's degraded streak resets; a tertiary outage abandons the
@@ -237,15 +265,26 @@ func (t *vdrTech) onFault(ev fault.Event) {
 	}
 }
 
-// degradedScan visits each cluster once per interval while any fault
-// is active: a display on a cluster with a down disk rides out up to
-// the hiccup limit of consecutive degraded intervals before aborting
-// (a slow disk only inflates the degraded-hiccup count); copies and
-// materializations touching a down disk are abandoned immediately —
-// their product would be unreadable anyway.
+// degradedScan visits each faulted cluster once per interval while any
+// fault is active: a display on a cluster with a down disk rides out
+// up to the hiccup limit of consecutive degraded intervals before
+// aborting (a slow disk only inflates the degraded-hiccup count);
+// copies and materializations touching a down disk are abandoned
+// immediately — their product would be unreadable anyway.  The scan
+// maps the engine's sorted faulted-disk active set to clusters: a
+// cluster's disks [c·M, (c+1)·M) are contiguous, so duplicates are
+// consecutive and the visit order is ascending cluster — the same
+// order the old all-clusters walk used — at O(faulted disks), not
+// O(clusters).
 func (t *vdrTech) degradedScan() {
 	e := t.eng
-	for c := 0; c < t.clusters; c++ {
+	lastC := -1
+	for _, f := range e.faultedDisks {
+		c := int(f) / t.cfg.M
+		if c == lastC {
+			continue
+		}
+		lastC = c
 		bad, slow := t.clusterBad[c] > 0, t.clusterSlow[c] > 0
 		if !bad && !slow || t.job[c] == jobIdle {
 			continue
@@ -340,16 +379,33 @@ func (t *vdrTech) setJob(c int, job clusterJob, object, until int) {
 	if t.jobDegraded != nil {
 		t.jobDegraded[c] = 0
 	}
-	t.endings.Add(until, c)
-	if job == jobCopyTarget {
+	if t.endShards != nil {
+		t.endShards[t.clusterShard(c)].Add(until, c)
+	} else {
+		t.endings.Add(until, c)
+	}
+	switch job {
+	case jobDisplay:
+		t.displayJobs++
+	case jobCopyTarget:
 		t.copyTargets[object]++
 		t.totalCopies++
 	}
 }
 
+// clusterShard maps cluster c to its owning shard: a contiguous,
+// monotone partition, so concatenating per-shard ascending cluster
+// lists in shard order yields a globally ascending cluster list.
+func (t *vdrTech) clusterShard(c int) int {
+	return c * t.eng.shards.n / t.clusters
+}
+
 // clearJob returns cluster c to idle.
 func (t *vdrTech) clearJob(c int) {
-	if t.job[c] == jobCopyTarget {
+	switch t.job[c] {
+	case jobDisplay:
+		t.displayJobs--
+	case jobCopyTarget:
 		t.copyTargets[t.jobObject[c]]--
 		t.totalCopies--
 	}
@@ -358,10 +414,59 @@ func (t *vdrTech) clearJob(c int) {
 	t.busyClusters--
 }
 
+// applyEnding settles one due cluster ending, revalidating against the
+// cluster's live state first: an entry is stale when a fault aborted
+// the job or a new job was set with a later deadline, and a cluster
+// aborted and re-occupied within one interval can appear twice in one
+// bucket (the first visit clears the job, the second skips on idle).
+func (t *vdrTech) applyEnding(c int, reissue []int) []int {
+	e := t.eng
+	if t.job[c] == jobIdle || e.now < int(t.busyUntil[c]) {
+		return reissue
+	}
+	switch t.job[c] {
+	case jobDisplay:
+		e.completed++
+		e.completedTotal++
+		e.stn.Complete(int(t.station[c]))
+		reissue = append(reissue, int(t.station[c]))
+	case jobCopyTarget:
+		if err := t.store.PlaceReplica(int(t.jobObject[c]), c, t.cfg.Subobjects); err != nil {
+			e.hiccups++
+		} else {
+			e.replications++
+		}
+	case jobCopySource:
+		// Released together with the target; nothing to record.
+	case jobMaterialize:
+		wasResident := t.store.Resident(t.matObject)
+		if err := t.store.PlaceReplica(t.matObject, c, t.cfg.Subobjects); err != nil {
+			e.hiccups++
+		} else if wasResident {
+			e.replications++
+		}
+		if t.matFromTman {
+			if _, err := e.tman.Finish(); err != nil {
+				e.hiccups++
+			}
+		}
+		e.materialized++
+		t.matObject = -1
+		t.matStarted = false
+	}
+	t.clearJob(c)
+	return reissue
+}
+
 // finishDue completes the cluster jobs ending now — a bucket lookup,
 // not a scan of all clusters.  Clusters are processed in ascending
-// index order, matching a full scan.
+// index order, matching a full scan.  Sharded engines keep the wheel
+// partitioned by owning shard and take the parallel drain below.
 func (t *vdrTech) finishDue() {
+	if t.endShards != nil {
+		t.finishDueSharded()
+		return
+	}
 	e := t.eng
 	t.endBuf = t.endings.Due(e.now, t.endBuf[:0])
 	ending := t.endBuf
@@ -371,40 +476,42 @@ func (t *vdrTech) finishDue() {
 	sort.Ints(ending)
 	reissue := e.reissueBuf[:0]
 	for _, c := range ending {
-		if t.job[c] == jobIdle || e.now < int(t.busyUntil[c]) {
-			continue
+		reissue = t.applyEnding(c, reissue)
+	}
+	for _, s := range reissue {
+		e.reissue(s)
+	}
+	e.reissueBuf = reissue[:0]
+}
+
+// finishDueSharded drains the per-shard ending wheels: the drain-and-
+// sort half runs on the worker pool (the wheels are disjoint and the
+// drain writes only its shard's buffer), then the apply half walks the
+// shards in ascending order on the interval goroutine.  Shard buckets
+// hold ascending cluster indexes after their sort and the shard map is
+// contiguous and monotone, so the concatenation equals the globally
+// sorted order the unsharded drain produces — Results are
+// byte-identical at any worker count, including worker count one.
+// All revalidation stays in applyEnding, exactly as unsharded.
+func (t *vdrTech) finishDueSharded() {
+	e := t.eng
+	nsh := e.shards.n
+	drain := func(s int) {
+		t.endBufs[s] = t.endShards[s].Due(e.now, t.endBufs[s][:0])
+		sort.Ints(t.endBufs[s])
+	}
+	if e.pool != nil && e.pool.concurrent {
+		e.parallel(nsh, drain)
+	} else {
+		for s := 0; s < nsh; s++ {
+			drain(s)
 		}
-		switch t.job[c] {
-		case jobDisplay:
-			e.completed++
-			e.completedTotal++
-			e.stn.Complete(int(t.station[c]))
-			reissue = append(reissue, int(t.station[c]))
-		case jobCopyTarget:
-			if err := t.store.PlaceReplica(int(t.jobObject[c]), c, t.cfg.Subobjects); err != nil {
-				e.hiccups++
-			} else {
-				e.replications++
-			}
-		case jobCopySource:
-			// Released together with the target; nothing to record.
-		case jobMaterialize:
-			wasResident := t.store.Resident(t.matObject)
-			if err := t.store.PlaceReplica(t.matObject, c, t.cfg.Subobjects); err != nil {
-				e.hiccups++
-			} else if wasResident {
-				e.replications++
-			}
-			if t.matFromTman {
-				if _, err := e.tman.Finish(); err != nil {
-					e.hiccups++
-				}
-			}
-			e.materialized++
-			t.matObject = -1
-			t.matStarted = false
+	}
+	reissue := e.reissueBuf[:0]
+	for s := 0; s < nsh; s++ {
+		for _, c := range t.endBufs[s] {
+			reissue = t.applyEnding(c, reissue)
 		}
-		t.clearJob(c)
 	}
 	for _, s := range reissue {
 		e.reissue(s)
@@ -668,7 +775,7 @@ func (t *vdrTech) maybeReplicate(obj int) bool {
 		share = float64(e.lfu.Count(obj)) / float64(t.totalRefs)
 	}
 	target := t.repl.Target(share, t.cfg.Stations)
-	if !t.repl.ShouldReplicate(e.pinned[obj], replicas, target) {
+	if !t.repl.ShouldReplicate(int(e.pinned[obj]), replicas, target) {
 		return false
 	}
 	if !t.cfg.DiskToDiskCopy {
