@@ -11,6 +11,8 @@
 //	ssim -faults 'fail:7@600-1200'   # inject a fault plan
 //	ssim -cachemb 256 -batchwindow 8 # enable the memory tier (DESIGN.md §12)
 //	ssim -zipf 0.7 -arrivals 6000    # open Zipf Poisson workload
+//	ssim -servers 4 -dispatch popularity -zipf 1.1 -arrivals 16000
+//	                                 # shared-clock cluster (DESIGN.md §13)
 //
 // A run whose materializations starve at the Place retry cap exits
 // nonzero with the typed starvation diagnosis on stderr.
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"github.com/mmsim/staggered/internal/cache"
+	"github.com/mmsim/staggered/internal/cluster"
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
@@ -54,6 +57,8 @@ func run() (code int) {
 	cachePolicy := flag.String("cache", "", "cache replacement policy: lru or popularity (default popularity)")
 	zipfSkew := flag.Float64("zipf", 0, "Zipf popularity skew theta (0 = geometric -dist catalog)")
 	arrivals := flag.Float64("arrivals", 0, "open Poisson arrivals per hour (0 = closed loop)")
+	servers := flag.Int("servers", 1, "number of shared-clock servers (>1 requires -arrivals; DESIGN.md §13)")
+	dispatch := flag.String("dispatch", "", "cluster dispatch policy: roundrobin, leastloaded, or popularity (default roundrobin)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -117,6 +122,11 @@ func run() (code int) {
 		printTechniques()
 		return 2
 	}
+
+	if *servers > 1 {
+		return runCluster(cfg, *servers, *technique, *stride, *dispatch)
+	}
+
 	eng, normalized, err := sched.NewEngineFor(*technique, cfg, *stride)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
@@ -134,6 +144,38 @@ func run() (code int) {
 		}
 		fmt.Fprintf(os.Stderr, "ssim: %v\n", runErr)
 		return 1
+	}
+	return 0
+}
+
+// runCluster runs the shared-clock multi-server simulation and prints
+// the merged aggregate followed by one row per member (DESIGN.md §13).
+func runCluster(base sched.Config, servers int, technique string, stride int, dispatch string) int {
+	sim, err := cluster.New(cluster.Config{
+		Servers:   servers,
+		Technique: technique,
+		Stride:    stride,
+		Dispatch:  dispatch,
+		Base:      base,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+		return 2
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
+		return 1
+	}
+	fmt.Printf("cluster:              %d servers, %s dispatch\n", servers, res.Dispatch)
+	printResult(base, res.Aggregate)
+	if res.NoHolder > 0 {
+		fmt.Printf("no-holder fallbacks:  %d\n", res.NoHolder)
+	}
+	fmt.Println()
+	for i, r := range res.Servers {
+		fmt.Printf("server %-2d             %.2f displays/hour (%d displays, %d routed, %d rejected, disk %.1f%%, tertiary %.1f%%)\n",
+			i, r.Throughput(), r.Displays, res.Routed[i], r.OpenRejected, r.DiskBusy*100, r.TertiaryBusy*100)
 	}
 	return 0
 }

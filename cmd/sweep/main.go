@@ -20,6 +20,8 @@
 //	sweep -faults 'fail:7@600'    # inject a fault plan into every run
 //	sweep -e18                    # availability experiment (EXPERIMENTS.md E18)
 //	sweep -e19                    # cache-size sweep (EXPERIMENTS.md E19)
+//	sweep -e20                    # cluster scaling sweep (EXPERIMENTS.md E20)
+//	sweep -servers 1,2,4 -dispatch popularity  # custom cluster grid
 //	sweep -cachemb 256 -batchwindow 8   # memory tier on every run (DESIGN.md §12)
 //	sweep -zipf 0.7 -arrivals 6000      # open Zipf workload instead of the closed loop
 package main
@@ -32,6 +34,7 @@ import (
 	"strings"
 
 	"github.com/mmsim/staggered/internal/cache"
+	"github.com/mmsim/staggered/internal/cluster"
 	"github.com/mmsim/staggered/internal/experiment"
 	"github.com/mmsim/staggered/internal/fault"
 	"github.com/mmsim/staggered/internal/metrics"
@@ -60,6 +63,9 @@ func run() (code int) {
 	pressure := flag.Bool("pressure", false, "enable eviction pressure for exact-fit farms (DESIGN.md §10)")
 	e18Flag := flag.Bool("e18", false, "run the E18 availability experiment and exit")
 	e19Flag := flag.Bool("e19", false, "run the E19 cache-size sweep and exit")
+	e20Flag := flag.Bool("e20", false, "run the E20 cluster-scaling sweep and exit")
+	serversFlag := flag.String("servers", "", "comma-separated fleet sizes for a cluster grid (implies -e20 over those sizes)")
+	dispatchFlag := flag.String("dispatch", "", "restrict the cluster grid to one dispatch policy (roundrobin, leastloaded, popularity)")
 	cacheMB := flag.Int("cachemb", 0, "prefix-cache RAM budget in MB (0 = no prefix cache; DESIGN.md §12)")
 	batchWindow := flag.Int("batchwindow", 0, "multicast batch window in intervals (0 = no batching)")
 	cachePolicy := flag.String("cache", "", "cache replacement policy: lru or popularity (default popularity)")
@@ -87,6 +93,10 @@ func run() (code int) {
 		}
 		fmt.Print(experiment.E19Render(points))
 		return 0
+	}
+
+	if *e20Flag || *serversFlag != "" {
+		return runClusterGrid(*serversFlag, *dispatchFlag, *seed, *csv)
 	}
 
 	if *listTech {
@@ -202,6 +212,46 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr,
 			"sweep: warning: %d materializations starved at the Place retry cap — throughput for those configurations is not meaningful (raise capacity, add -pressure, or use k >= M; see DESIGN.md §10)\n",
 			starved)
+	}
+	return 0
+}
+
+// runClusterGrid runs the E20 cluster-scaling grid: fleet sizes from
+// -servers (default 1,2,4,8) crossed with the dispatch policies
+// (restricted by -dispatch when given), at quick per-server geometry
+// under an open Zipf θ=1.1 workload (EXPERIMENTS.md E20).
+func runClusterGrid(serversFlag, dispatchFlag string, seed uint64, csv bool) int {
+	servers := experiment.E20Servers
+	if serversFlag != "" {
+		var err error
+		if servers, err = parseStations(serversFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad -servers: %v\n", err)
+			return 2
+		}
+	}
+	policies := cluster.Policies()
+	if dispatchFlag != "" {
+		found := false
+		for _, p := range policies {
+			if p == dispatchFlag {
+				policies, found = []string{p}, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "sweep: unknown dispatch policy %q (have %v)\n", dispatchFlag, cluster.Policies())
+			return 2
+		}
+	}
+	points, err := experiment.E20Grid(servers, policies, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 1
+	}
+	if csv {
+		fmt.Print(experiment.E20CSV(points))
+	} else {
+		fmt.Print(experiment.RenderE20(points))
 	}
 	return 0
 }

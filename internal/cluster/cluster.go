@@ -1,0 +1,414 @@
+// Package cluster scales the simulation past one server: N
+// independent sched.Engine instances — each its own disk farm,
+// tertiary device, and station pool — advanced in global
+// earliest-time order under a shared clock, fed by one cluster-wide
+// Poisson arrival stream that a pluggable Dispatch policy routes to a
+// member server (DESIGN.md §13).  The paper sizes a single server (D
+// disks bound its bandwidth no matter how clever the striping);
+// ROADMAP's millions-of-users north star is this layer's N-fold
+// aggregate.
+//
+// The engines expose steppable primitives (Prime / StepOne /
+// ResetWindow / Snapshot) precisely so this driver can interleave
+// them; they share one worker pool (sched.Pool) because the driver
+// steps them sequentially, and they draw per-instance randomness from
+// rng.NewStream(seed, server) splits so adding a server never
+// perturbs its siblings' trajectories.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmsim/staggered/internal/fault"
+	"github.com/mmsim/staggered/internal/rng"
+	"github.com/mmsim/staggered/internal/sched"
+)
+
+// Config describes one cluster run.
+type Config struct {
+	// Servers is the member count.  1 delegates the workload entirely
+	// to the single engine (closed loop or own Poisson stream), which
+	// reproduces single-engine Results byte-for-byte.
+	Servers int
+
+	// Technique and Stride select the engine configuration through the
+	// technique registry ("" means striped; stride 0 the technique
+	// default).  Every member runs the same technique.
+	Technique string
+	Stride    int
+
+	// Dispatch is the arrival-routing policy key (see Policies); ""
+	// means roundrobin.  Only meaningful with Servers > 1.
+	Dispatch string
+
+	// Base is the per-server configuration: farm geometry, station
+	// pool, cache tier, and measurement windows all apply to each
+	// member individually, while the workload fields describe the
+	// cluster as a whole — with Servers > 1, ArrivalsPerHour is the
+	// cluster-wide offered load (the shared Poisson stream this
+	// driver owns and dispatches), ZipfSkew/DistMean shape the shared
+	// object draw, and ZipfFlipInterval flips that shared draw.
+	// Base.Seed seeds the cluster streams; member engine i runs under
+	// the split seed rng.NewStream(Seed, i+1).
+	Base sched.Config
+
+	// ServerFaults optionally gives each member its own fault plan
+	// (index = server; shorter slices leave the tail fault-free),
+	// overriding Base.Faults for every member — the chaos harness uses
+	// it to fail disks on one server and assert the siblings are
+	// untouched.
+	ServerFaults []*fault.Plan
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	// Aggregate merges every member's Result (metrics.Run.Merge):
+	// displays, requests, and latency observations add across the
+	// cluster over the common measurement window, so
+	// Aggregate.Throughput() is cluster displays per hour.
+	Aggregate sched.Result
+	// Servers holds each member's own Result, in server order.
+	Servers []sched.Result
+	// Dispatch is the routing policy that ran.
+	Dispatch string
+	// Routed counts the measurement-window arrivals dispatched to each
+	// server (nil for a delegated 1-server run).
+	Routed []int
+	// NoHolder counts measurement-window popularity dispatches that
+	// found no server holding the object and fell back to least
+	// loaded (always 0 for other policies).
+	NoHolder int
+}
+
+// Sim is one cluster simulation.  Build with New, run once with Run.
+type Sim struct {
+	cfg      Config
+	engines  []*sched.Engine
+	pool     *sched.Pool
+	dispatch Dispatch
+	dt       float64
+
+	// Cluster-owned arrival process (Servers > 1 only).
+	arrStream rng.Stream
+	objStream rng.Stream
+	dist      *rng.Discrete
+	remap     []int // popularity-churn rotation, nil until the flip
+	nextAt    float64
+	meanGap   float64
+	flipAt    float64 // seconds; 0 = never
+	flipped   bool
+
+	// Dispatch counters (reset at the warm-up boundary).
+	routed   []int
+	noHolder int
+
+	resetDone []bool
+	ran       bool
+}
+
+// New validates the configuration and builds the member engines,
+// including the build-time replica placement the popularity policy
+// routes against.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("cluster: need at least one server, got %d", cfg.Servers)
+	}
+	key := cfg.Technique
+	if key == "" {
+		key = "striped"
+	}
+	ti, ok := sched.TechniqueByKey(key)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown technique %q", key)
+	}
+	base, err := ti.Configure(cfg.Base, cfg.Stride)
+	if err != nil {
+		return nil, err
+	}
+	disp, err := newDispatch(cfg.Dispatch)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.ServerFaults) > cfg.Servers {
+		return nil, fmt.Errorf("cluster: %d fault plans for %d servers", len(cfg.ServerFaults), cfg.Servers)
+	}
+
+	s := &Sim{cfg: cfg, dispatch: disp, dt: base.IntervalSeconds()}
+
+	if cfg.Servers == 1 {
+		// Delegate the whole workload to the single engine — closed
+		// loop, own Poisson stream, whatever Base says — so a 1-server
+		// cluster is the engine, byte-for-byte.
+		if len(cfg.ServerFaults) == 1 {
+			base.Faults = cfg.ServerFaults[0]
+		}
+		e, err := ti.New(base)
+		if err != nil {
+			return nil, err
+		}
+		s.engines = []*sched.Engine{e}
+		s.resetDone = make([]bool, 1)
+		return s, nil
+	}
+
+	if base.ArrivalsPerHour <= 0 {
+		return nil, fmt.Errorf("cluster: %d servers need an open workload (Base.ArrivalsPerHour > 0)", cfg.Servers)
+	}
+	if base.ExternalArrivals {
+		return nil, fmt.Errorf("cluster: Base.ExternalArrivals is set by the cluster itself")
+	}
+	if base.PreloadObjects != nil {
+		return nil, fmt.Errorf("cluster: Base.PreloadObjects is assigned by the cluster's replica placement")
+	}
+
+	// Cluster-owned workload streams.  The object distribution is the
+	// same one the engines would draw from; the arrival process is the
+	// cluster-wide offered load.
+	src := rng.NewSource(base.Seed)
+	s.arrStream = *src.Stream("cluster/arrivals")
+	s.objStream = *src.Stream("cluster/objects")
+	if base.ZipfSkew > 0 {
+		s.dist, err = rng.Zipf(base.Objects, base.ZipfSkew)
+	} else {
+		s.dist, err = rng.TruncatedGeometric(base.Objects, base.DistMean)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.meanGap = 3600 / base.ArrivalsPerHour
+	s.nextAt = s.arrStream.Exp(s.meanGap)
+	if base.ZipfFlipInterval > 0 {
+		s.flipAt = float64(base.ZipfFlipInterval) * s.dt
+	}
+
+	assignments := replicaAssignments(base.Objects, cfg.Servers, base.DefaultPreload())
+
+	// One worker pool for the whole cluster: the members are stepped
+	// sequentially, so N per-engine pools would only oversubscribe the
+	// machine.
+	s.pool = sched.NewPool(base.Workers)
+
+	s.engines = make([]*sched.Engine, cfg.Servers)
+	for i := range s.engines {
+		scfg := base
+		// Per-instance randomness: a split of the cluster seed, so
+		// member trajectories are independent and adding a server
+		// never perturbs the existing ones.
+		scfg.Seed = rng.NewStream(base.Seed, uint64(i+1)).Uint64()
+		scfg.ArrivalsPerHour = 0
+		scfg.ExternalArrivals = true
+		scfg.ZipfFlipInterval = 0 // the flip applies to the cluster's shared draw
+		scfg.PreloadObjects = assignments[i]
+		scfg.Faults = base.Faults
+		if i < len(cfg.ServerFaults) {
+			scfg.Faults = cfg.ServerFaults[i]
+		}
+		e, err := ti.New(scfg)
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		e.AttachPool(s.pool)
+		s.engines[i] = e
+	}
+	s.routed = make([]int, cfg.Servers)
+	s.resetDone = make([]bool, cfg.Servers)
+	return s, nil
+}
+
+// Servers returns the member count.
+func (s *Sim) Servers() int { return len(s.engines) }
+
+// load is the dispatch policies' congestion signal for one member:
+// displays in delivery plus references waiting in the disk queue.
+func (s *Sim) load(i int) int {
+	return s.engines[i].ActiveDisplays() + s.engines[i].QueuedRequests()
+}
+
+// holds reports whether member i can play the object without staging.
+func (s *Sim) holds(i, obj int) bool { return s.engines[i].HoldsObject(obj) }
+
+// drawObject samples the shared popularity distribution, applying the
+// churn rotation once the flip has fired.
+func (s *Sim) drawObject() int {
+	id := s.dist.Sample(&s.objStream)
+	if s.remap != nil {
+		id = s.remap[id]
+	}
+	return id
+}
+
+// flip rotates the shared draw by half the catalog — the same
+// rotation workload.Generator.FlipHalf applies to a single engine's
+// per-station draws.
+func (s *Sim) flip() {
+	n := s.dist.Len()
+	if s.remap == nil {
+		s.remap = make([]int, n)
+		for i := range s.remap {
+			s.remap[i] = i
+		}
+	}
+	for i := range s.remap {
+		s.remap[i] = (s.remap[i] + (n+1)/2) % n
+	}
+}
+
+// deliverArrivals dispatches every cluster arrival strictly before
+// limit (seconds) to a member chosen by the policy.
+func (s *Sim) deliverArrivals(limit float64) {
+	for s.nextAt < limit {
+		if s.flipAt > 0 && !s.flipped && s.nextAt >= s.flipAt {
+			s.flipped = true
+			s.flip()
+		}
+		obj := s.drawObject()
+		target := s.dispatch.Pick(obj, s)
+		s.routed[target]++
+		s.engines[target].InjectArrival(obj)
+		s.nextAt += s.arrStream.Exp(s.meanGap)
+	}
+}
+
+// Run executes the cluster to its horizon and returns the merged
+// statistics.  A second call returns sched.ErrAlreadyRun.
+func (s *Sim) Run() (Result, error) {
+	if s.ran {
+		return Result{}, sched.ErrAlreadyRun
+	}
+	s.ran = true
+	defer func() {
+		for _, e := range s.engines {
+			e.Close()
+		}
+		s.pool.Close()
+	}()
+	for _, e := range s.engines {
+		e.Prime()
+	}
+
+	// Shared-clock loop: always advance the member whose next interval
+	// is globally earliest (ties in ascending server order).  With
+	// homogeneous members this degenerates to lockstep rounds; the
+	// earliest-time order is what keeps heterogeneous interval lengths
+	// correct.
+	warm := s.engines[0].Config().WarmupIntervals
+	for {
+		best := -1
+		var bt float64
+		for i, e := range s.engines {
+			if !e.HasPendingWork() {
+				continue
+			}
+			if t := e.NextEventTime(); best < 0 || t < bt {
+				best, bt = i, t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := s.engines[best]
+		if !s.resetDone[best] && e.Now() >= warm {
+			// Warm-up boundary: open this member's measurement window,
+			// and the cluster's dispatch window with the first member.
+			e.ResetWindow()
+			s.resetDone[best] = true
+			if best == 0 || !anyTrue(s.resetDone[:best]) {
+				for i := range s.routed {
+					s.routed[i] = 0
+				}
+				s.noHolder = 0
+			}
+		}
+		if s.dist != nil {
+			// Deliver the arrivals of the interval about to execute
+			// before any member steps past it: in a tie round this
+			// fires on the first member's turn and is a no-op for the
+			// rest (the limit is monotone).
+			limit := bt + s.dt
+			if end := float64(warm+e.Config().MeasureIntervals) * s.dt; limit > end {
+				limit = end
+			}
+			s.deliverArrivals(limit)
+		}
+		e.StepOne()
+	}
+
+	res := Result{
+		Servers:  make([]sched.Result, len(s.engines)),
+		Dispatch: s.dispatch.Name(),
+		NoHolder: s.noHolder,
+	}
+	if s.routed != nil {
+		res.Routed = append([]int(nil), s.routed...)
+	}
+	for i, e := range s.engines {
+		res.Servers[i] = e.Snapshot()
+	}
+	res.Aggregate = res.Servers[0]
+	for _, r := range res.Servers[1:] {
+		res.Aggregate.Merge(r)
+	}
+	return res, nil
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// replicaAssignments spreads object replicas across n servers by
+// popularity rank at build time: the hottest object is resident on
+// every server, and each doubling of rank halves the copy count down
+// to a floor of one, so every object has a holder while capacity
+// lasts (the popularity policy's routing table).  Copies go to the
+// least-filled eligible servers (ties to the lowest index), which
+// both balances the build-time load and is deterministic.  perServer
+// caps each member's resident objects at its farm capacity; objects
+// past the aggregate capacity stay unplaced and materialize on
+// demand.
+func replicaAssignments(objects, n, perServer int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		// Non-nil even when empty: a nil PreloadObjects would fall
+		// back to the engine's own default preload.
+		out[i] = []int{}
+	}
+	counts := make([]int, n)
+	for rank := 0; rank < objects; rank++ {
+		copies := n >> bandOf(rank)
+		if copies < 1 {
+			copies = 1
+		}
+		taken := make([]bool, n)
+		for c := 0; c < copies; c++ {
+			best := -1
+			for i := 0; i < n; i++ {
+				if taken[i] || counts[i] >= perServer {
+					continue
+				}
+				if best < 0 || counts[i] < counts[best] {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			taken[best] = true
+			counts[best]++
+			out[best] = append(out[best], rank)
+		}
+	}
+	return out
+}
+
+// bandOf returns floor(log2(rank+1)): rank 0 is band 0, ranks 1-2
+// band 1, ranks 3-6 band 2, and so on.
+func bandOf(rank int) int {
+	return int(math.Ilogb(float64(rank + 1)))
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import "fmt"
+
+// Dispatch routes one cluster arrival to a member server.  Policies
+// are consulted between intervals on the stepping goroutine and may
+// read the members' live load and residency probes through the Sim.
+type Dispatch interface {
+	// Name is the stable CLI key.
+	Name() string
+	// Pick returns the serving server for an arrival referencing obj.
+	Pick(obj int, s *Sim) int
+}
+
+// Policies returns the registered dispatch policy keys in
+// presentation order.
+func Policies() []string { return []string{"roundrobin", "leastloaded", "popularity"} }
+
+// newDispatch resolves a policy key ("" = roundrobin).
+func newDispatch(key string) (Dispatch, error) {
+	switch key {
+	case "", "roundrobin":
+		return &roundRobin{}, nil
+	case "leastloaded":
+		return leastLoaded{}, nil
+	case "popularity":
+		return popularity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown dispatch policy %q (have %v)", key, Policies())
+}
+
+// roundRobin cycles through the servers in order, object-blind — the
+// baseline every smarter policy must beat.
+type roundRobin struct{ next int }
+
+func (*roundRobin) Name() string { return "roundrobin" }
+
+func (rr *roundRobin) Pick(_ int, s *Sim) int {
+	i := rr.next
+	rr.next = (rr.next + 1) % len(s.engines)
+	return i
+}
+
+// leastLoaded routes to the server with the fewest displays in
+// delivery plus queued references (ties to the lowest index) — the
+// classic join-the-shortest-queue heuristic.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "leastloaded" }
+
+func (leastLoaded) Pick(_ int, s *Sim) int {
+	best := 0
+	bestLoad := s.load(0)
+	for i := 1; i < len(s.engines); i++ {
+		if l := s.load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// popularity routes to a server whose placement (or cache tier) holds
+// the object — the replica servers chosen by Zipf rank at build time —
+// picking the least loaded holder so hot objects with several replicas
+// still balance.  An object nobody holds (evicted, or past the
+// aggregate capacity) falls back to least loaded overall and is
+// counted in Result.NoHolder; the chosen server materializes it.
+type popularity struct{}
+
+func (popularity) Name() string { return "popularity" }
+
+func (popularity) Pick(obj int, s *Sim) int {
+	best, bestLoad := -1, 0
+	for i := range s.engines {
+		if !s.holds(i, obj) {
+			continue
+		}
+		if l := s.load(i); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	s.noHolder++
+	return leastLoaded{}.Pick(obj, s)
+}

@@ -356,16 +356,23 @@ func RunAllTechniques(scale Scale, stations []int, seed uint64, specs []TechSpec
 	return runSweep(scale, workload.PaperMeans, stations, seed, specs, nil)
 }
 
-// Starved sums the starved-materialization counters across a sweep's
-// points — what cmd/sweep uses to warn loudly (on stderr) when a
-// configuration livelocked at the Place retry cap instead of silently
-// delivering zero throughput.
-func Starved(points []Point) int {
-	total := 0
+// Aggregate merges every run of a sweep's points into one Run
+// (metrics.Run.Merge semantics: counters add, utilizations
+// window-average) — the sweep-wide totals cmd/sweep reports from.
+func Aggregate(points []Point) metrics.Run {
+	var agg metrics.Run
 	for _, p := range points {
 		for _, r := range p.Runs {
-			total += r.StarvedMaterializations
+			agg.Merge(r)
 		}
 	}
-	return total
+	return agg
+}
+
+// Starved returns the sweep-wide starved-materialization total — what
+// cmd/sweep uses to warn loudly (on stderr) when a configuration
+// livelocked at the Place retry cap instead of silently delivering
+// zero throughput.
+func Starved(points []Point) int {
+	return Aggregate(points).StarvedMaterializations
 }

@@ -52,6 +52,26 @@ func (h *Histogram) Add(x float64) {
 	h.sum += x
 }
 
+// Merge folds another histogram's observations into h.  The two must
+// share the same bucket bounds (merging differently shaped histograms
+// has no meaningful bucket-wise result).
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(o.bounds) != len(h.bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d bounds", len(o.bounds), len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("metrics: merging histograms with different bounds at %d: %g vs %g", i, b, o.bounds[i])
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	return nil
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.total }
 

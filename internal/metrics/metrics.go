@@ -31,6 +31,29 @@ func (t *Tally) Add(x float64) {
 	t.sumSq += x * x
 }
 
+// Merge folds another tally's observations into t, as if every
+// observation recorded in o had been Added to t: counts, sums, and
+// sums of squares add, the extrema combine.  Order-independent up to
+// float summation order.
+func (t *Tally) Merge(o Tally) {
+	if o.n == 0 {
+		return
+	}
+	if t.n == 0 {
+		*t = o
+		return
+	}
+	if o.min < t.min {
+		t.min = o.min
+	}
+	if o.max > t.max {
+		t.max = o.max
+	}
+	t.n += o.n
+	t.sum += o.sum
+	t.sumSq += o.sumSq
+}
+
 // N returns the observation count.
 func (t *Tally) N() int { return t.n }
 
@@ -134,6 +157,66 @@ type Run struct {
 	OpenRejected     int   // open-system arrivals refused for want of a station
 
 	Latency Tally // admission latency of displays started in the window
+}
+
+// Merge folds another run's statistics into r — the aggregation the
+// cluster layer and the experiment harness use to report N servers (or
+// N runs over the same window) as one Run.  Semantics per field class:
+//
+//   - Event counters (Displays, Materializa, …, OpenRejected) and the
+//     station population add.
+//   - Utilization ratios (TertiaryBusy, DiskBusy) combine as averages
+//     weighted by each run's MeasureSeconds, so merging a long window
+//     with a short one does not overweight the short one's fraction.
+//   - The window lengths themselves take the maximum: runs merged
+//     under a shared clock overlap rather than concatenate, which
+//     keeps Throughput() = aggregate displays over the common window.
+//   - The latency tally merges observation-exactly (Tally.Merge).
+//   - Technique and DistMean stick when equal and degrade to
+//     "mixed" / 0 when the merged runs disagree.
+func (r *Run) Merge(o Run) {
+	switch {
+	case r.Technique == "":
+		r.Technique = o.Technique
+	case o.Technique != "" && o.Technique != r.Technique:
+		r.Technique = "mixed"
+	}
+	if o.DistMean != r.DistMean {
+		r.DistMean = 0
+	}
+	r.Stations += o.Stations
+
+	wr, wo := r.MeasureSeconds, o.MeasureSeconds
+	if wr+wo > 0 {
+		r.TertiaryBusy = (r.TertiaryBusy*wr + o.TertiaryBusy*wo) / (wr + wo)
+		r.DiskBusy = (r.DiskBusy*wr + o.DiskBusy*wo) / (wr + wo)
+	}
+	if o.WarmupSeconds > r.WarmupSeconds {
+		r.WarmupSeconds = o.WarmupSeconds
+	}
+	if o.MeasureSeconds > r.MeasureSeconds {
+		r.MeasureSeconds = o.MeasureSeconds
+	}
+
+	r.Displays += o.Displays
+	r.Materializa += o.Materializa
+	r.Replications += o.Replications
+	r.Hiccups += o.Hiccups
+	r.Coalescings += o.Coalescings
+	r.UniqueResidents += o.UniqueResidents
+
+	r.Requests += o.Requests
+	r.DegradedHiccups += o.DegradedHiccups
+	r.AbortedDisplays += o.AbortedDisplays
+	r.RejectedDegraded += o.RejectedDegraded
+	r.StarvedMaterializations += o.StarvedMaterializations
+
+	r.ServedFromCache += o.ServedFromCache
+	r.BatchedFollowers += o.BatchedFollowers
+	r.CacheHitBytes += o.CacheHitBytes
+	r.OpenRejected += o.OpenRejected
+
+	r.Latency.Merge(o.Latency)
 }
 
 // CacheHitRate returns the fraction of window requests whose startup

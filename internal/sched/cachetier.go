@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"github.com/mmsim/staggered/internal/cache"
 	"github.com/mmsim/staggered/internal/rng"
 	"github.com/mmsim/staggered/internal/sim"
@@ -235,13 +237,20 @@ type openArrivals struct {
 }
 
 func newOpenArrivals(cfg Config) *openArrivals {
-	o := &openArrivals{meanGap: 3600 / cfg.ArrivalsPerHour}
-	o.stream = *rng.NewSource(cfg.Seed).Stream("arrivals")
+	o := &openArrivals{}
 	// LIFO init in reverse so station 0 serves the first arrival.
 	o.idle = make([]int, cfg.Stations)
 	for i := range o.idle {
 		o.idle[i] = cfg.Stations - 1 - i
 	}
+	if cfg.ExternalArrivals {
+		// A cluster driver injects arrivals (Engine.InjectArrival);
+		// the engine's own stream never fires.
+		o.nextAt = math.Inf(1)
+		return o
+	}
+	o.meanGap = 3600 / cfg.ArrivalsPerHour
+	o.stream = *rng.NewSource(cfg.Seed).Stream("arrivals")
 	o.nextAt = o.stream.Exp(o.meanGap)
 	return o
 }

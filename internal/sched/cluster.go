@@ -1,0 +1,95 @@
+package sched
+
+// This file is the engine's cluster-facing surface (DESIGN.md §13):
+// an exported handle on the worker pool so N engines behind one clock
+// share one pool instead of oversubscribing the machine with N, the
+// load and residency probes the dispatch policies read, and the
+// arrival injection point for externally dispatched requests.
+
+// Pool is a shareable worker pool for the engines' intra-interval
+// parallel phases.  A cluster driver creates one Pool sized for the
+// machine and attaches it to every member engine (Engine.AttachPool);
+// because the driver steps engines sequentially and a pool run is
+// synchronous, the members never contend for it.
+type Pool struct {
+	p *workerPool
+}
+
+// NewPool creates a pool applying the given total worker parallelism
+// (the stepping goroutine participates in every run, so workers-1
+// goroutines are spawned — the same accounting as Config.Workers).
+// workers <= 1 returns an empty Pool that AttachPool ignores.
+func NewPool(workers int) *Pool {
+	if workers <= 1 {
+		return &Pool{}
+	}
+	return &Pool{p: newWorkerPool(workers - 1)}
+}
+
+// Close retires the pool's goroutines.  No engine may step after its
+// shared pool closes.
+func (p *Pool) Close() {
+	if p != nil && p.p != nil {
+		p.p.close()
+		p.p = nil
+	}
+}
+
+// ActiveDisplays returns the number of displays currently in delivery,
+// including batched followers — the leastloaded dispatch signal.
+func (e *Engine) ActiveDisplays() int {
+	return e.tech.activeDisplays() + e.activeFollowers
+}
+
+// QueuedRequests returns the number of admitted references still
+// waiting in the disk queue.
+func (e *Engine) QueuedRequests() int { return len(e.queue) }
+
+// IdleStations returns how many stations an open-workload engine has
+// free; a closed-loop engine (every station always cycling) reports 0.
+func (e *Engine) IdleStations() int {
+	if e.open == nil {
+		return 0
+	}
+	return len(e.open.idle)
+}
+
+// HoldsObject reports whether the object is playable here right now —
+// fully materialized on disk, or its prefix pinned in the cache tier —
+// the popularity dispatch's residency probe.
+func (e *Engine) HoldsObject(id int) bool {
+	if id < 0 || id >= e.cfg.Objects {
+		return false
+	}
+	if e.cache != nil && e.cache.Resident(id) {
+		return true
+	}
+	return e.tech.holdsObject(id)
+}
+
+// InjectArrival admits one externally dispatched request for the
+// object: the entry point a cluster driver routes its shared Poisson
+// arrival stream through (Config.ExternalArrivals).  The request
+// occupies an idle station; with every station busy the arrival is
+// refused and counted in OpenRejected.  Must be called between
+// intervals on the stepping goroutine; the request is enqueued at the
+// engine's current interval.
+func (e *Engine) InjectArrival(object int) bool {
+	if e.open == nil {
+		panic("sched: InjectArrival on an engine without ExternalArrivals")
+	}
+	if object < 0 || object >= e.cfg.Objects {
+		panic("sched: InjectArrival object out of range")
+	}
+	n := len(e.open.idle)
+	if n == 0 {
+		e.open.rejected++
+		e.open.rejectedTotal++
+		return false
+	}
+	s := e.open.idle[n-1]
+	e.open.idle = e.open.idle[:n-1]
+	r := e.stn.IssueObject(s, object, float64(e.now)*e.cfg.IntervalSeconds())
+	e.record(request{station: r.Station, object: r.Object, arrived: e.now})
+	return true
+}

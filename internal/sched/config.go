@@ -140,6 +140,29 @@ type Config struct {
 	// OpenRejected.  Mutually exclusive with ThinkMeanSeconds.
 	ArrivalsPerHour float64
 
+	// ExternalArrivals runs the engine as an open system whose
+	// arrivals are injected by an outside driver (Engine.InjectArrival)
+	// instead of drawn from the engine's own Poisson stream: the
+	// cluster layer owns one shared arrival process and dispatches each
+	// request to a member engine.  Mutually exclusive with
+	// ArrivalsPerHour and ThinkMeanSeconds.
+	ExternalArrivals bool
+
+	// PreloadObjects, when non-nil, pre-places exactly these objects
+	// (best-effort, in slice order) instead of the PreloadTop most
+	// popular — how the cluster layer spreads replicas across member
+	// servers by Zipf rank at build time.
+	PreloadObjects []int
+
+	// ZipfFlipInterval, when positive, rotates the object-popularity
+	// mapping by half the catalog at that absolute interval
+	// (workload.Generator.FlipHalf): the hot head of the Zipf
+	// distribution moves to previously cold objects mid-run, the
+	// popularity-churn scenario the cache tier and the cluster's
+	// popularity dispatch must re-converge under.  0 (the golden
+	// configuration) never flips.
+	ZipfFlipInterval int
+
 	// Shards partitions the stations into this many contiguous blocks,
 	// each with its own wake-up wheel, think-time stream (split via
 	// rng.NewStream(seed, shard)), and admission scratch, so the
@@ -231,6 +254,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sched: arrival rate must be non-negative")
 	case c.ArrivalsPerHour > 0 && c.ThinkMeanSeconds > 0:
 		return fmt.Errorf("sched: open arrivals and think time are mutually exclusive")
+	case c.ExternalArrivals && c.ArrivalsPerHour > 0:
+		return fmt.Errorf("sched: external arrivals and an own Poisson stream are mutually exclusive")
+	case c.ExternalArrivals && c.ThinkMeanSeconds > 0:
+		return fmt.Errorf("sched: external arrivals and think time are mutually exclusive")
+	case c.ZipfFlipInterval < 0:
+		return fmt.Errorf("sched: zipf flip interval must be non-negative")
+	}
+	for _, id := range c.PreloadObjects {
+		if id < 0 || id >= c.Objects {
+			return fmt.Errorf("sched: preload object %d out of range [0, %d)", id, c.Objects)
+		}
 	}
 	if err := c.Faults.Validate(c.D); err != nil {
 		return err

@@ -67,6 +67,10 @@ type Technique interface {
 	// uniqueResidents counts the distinct objects on disk, for the
 	// end-of-run Result.
 	uniqueResidents() int
+	// holdsObject reports whether the object is playable from disk
+	// right now — resident and fully materialized — for the cluster
+	// layer's popularity dispatch (route to a replica holder).
+	holdsObject(id int) bool
 }
 
 // Engine is the shared mechanism of the interval engines: the
@@ -87,8 +91,10 @@ type Engine struct {
 	think []rng.Stream // per-station think-time streams (dense, sequential path)
 
 	// Sharded execution (nil on the default sequential path).
-	shards *shardSet
-	pool   *workerPool // live only inside Run when Workers > 1
+	shards  *shardSet
+	pool    *workerPool // live between Prime and Close when Workers > 1
+	ownPool bool        // pool created by Prime (vs attached by a cluster driver)
+	primed  bool        // Prime has run: stations seeded, pool live
 
 	queue      []request
 	pinned     []int32             // object -> queued request count
@@ -217,7 +223,7 @@ func NewEngine(cfg Config, tech Technique) (*Engine, error) {
 	if cfg.Cache.Enabled() {
 		e.bindCache()
 	}
-	if cfg.ArrivalsPerHour > 0 {
+	if cfg.ArrivalsPerHour > 0 || cfg.ExternalArrivals {
 		e.open = newOpenArrivals(cfg)
 	}
 	if err := tech.bind(e); err != nil {
@@ -330,6 +336,12 @@ func (e *Engine) reissue(s int) {
 // admissions, end-of-interval work), then the busy integral — the
 // same event order CSIM's process scheduling yields for this model.
 func (e *Engine) step() {
+	if e.cfg.ZipfFlipInterval > 0 && e.now == e.cfg.ZipfFlipInterval {
+		// Popularity churn: rotate the catalog's rank→object mapping
+		// before this interval draws anything, on the interval
+		// goroutine — the shard drains below happen-after.
+		e.gen.FlipHalf()
+	}
 	if e.faultEvents != nil {
 		e.applyFaults()
 	}
@@ -532,27 +544,85 @@ func (e *Engine) countStarved(object int) {
 	e.cacheStagingAborted(object)
 }
 
-// Run executes warm-up and measurement and returns the statistics.
-func (e *Engine) Run() Result {
-	if e.now != 0 {
-		panic("sched: Run called twice")
+// The steppable primitives below decompose Run into the pieces a
+// multi-engine driver needs (DESIGN.md §13): Prime seeds the run,
+// StepOne advances exactly one interval, ResetWindow starts a
+// measurement window, Snapshot assembles a Result from the counters as
+// they stand, and Close releases the worker pool.  Run is re-expressed
+// on top of them, so the primitives and the classic entry point cannot
+// drift apart — the golden dumps pin both.
+
+// Prime readies the engine to step: it brings up the worker pool (when
+// Config.Workers > 1 and no shared pool was attached) and seeds the
+// closed-loop stations' first references.  Idempotent; StepOne calls
+// it, so callers only need it explicitly when they want the setup cost
+// paid at a known point.
+func (e *Engine) Prime() {
+	if e.primed {
+		return
 	}
-	if w := e.workers(); w > 1 {
+	e.primed = true
+	if w := e.workers(); w > 1 && e.pool == nil {
 		e.pool = newWorkerPool(w - 1) // the interval goroutine works too
-		defer func() {
-			e.pool.close()
-			e.pool = nil
-		}()
+		e.ownPool = true
 	}
 	if e.open == nil {
 		for s := 0; s < e.cfg.Stations; s++ {
 			e.enqueue(s)
 		}
 	}
-	for e.now < e.cfg.WarmupIntervals {
-		e.step()
+}
+
+// AttachPool shares an external worker pool with the engine, instead
+// of the one Prime would create.  Must precede Prime; a nil or empty
+// pool is ignored.  Engines sharing one pool must be stepped from a
+// single goroutine (the pool's run call is synchronous, so sequential
+// stepping never overlaps two engines' parallel phases).
+func (e *Engine) AttachPool(p *Pool) {
+	if p == nil || p.p == nil || e.primed {
+		return
 	}
-	// Reset window counters.
+	e.pool = p.p
+}
+
+// Close releases the engine's own worker pool, if Prime created one.
+// An attached shared pool is left to its owner.  Safe to call twice;
+// the engine must not be stepped afterwards.
+func (e *Engine) Close() {
+	if e.ownPool && e.pool != nil {
+		e.pool.close()
+		e.ownPool = false
+	}
+	e.pool = nil
+}
+
+// HasPendingWork reports whether the run's horizon (warm-up plus
+// measurement) has not been reached yet.
+func (e *Engine) HasPendingWork() bool {
+	return e.now < e.cfg.WarmupIntervals+e.cfg.MeasureIntervals
+}
+
+// NextEventTime returns the simulated time, in seconds, of the next
+// interval StepOne would execute — the engine's position on a shared
+// cluster clock.
+func (e *Engine) NextEventTime() float64 {
+	return float64(e.now) * e.cfg.IntervalSeconds()
+}
+
+// Now returns the next interval index to execute.
+func (e *Engine) Now() int { return e.now }
+
+// StepOne advances the simulation by exactly one interval.
+func (e *Engine) StepOne() {
+	e.Prime()
+	e.step()
+}
+
+// ResetWindow zeroes the window counters, opening a measurement
+// window at the current interval.  Run calls it at the warm-up
+// boundary; windowed callers (churn re-convergence tests, cluster
+// drivers) may call it repeatedly to carve a run into segments.
+func (e *Engine) ResetWindow() {
 	e.completed, e.materialized, e.coalescings, e.replications = 0, 0, 0, 0
 	e.admitted = e.admitted[:0]
 	e.busyArea, e.tertBusy = 0, 0
@@ -561,12 +631,30 @@ func (e *Engine) Run() Result {
 	if e.open != nil {
 		e.open.rejected = 0
 	}
+}
 
-	end := e.cfg.WarmupIntervals + e.cfg.MeasureIntervals
-	for e.now < end {
+// Run executes warm-up and measurement and returns the statistics.
+func (e *Engine) Run() Result {
+	if e.primed || e.now != 0 {
+		panic("sched: Run called twice")
+	}
+	e.Prime()
+	defer e.Close()
+	for e.now < e.cfg.WarmupIntervals {
 		e.step()
 	}
+	e.ResetWindow()
+	for e.HasPendingWork() {
+		e.step()
+	}
+	return e.Snapshot()
+}
 
+// Snapshot assembles a Result from the window counters as they stand.
+// The ratio fields normalize by the full measurement window, so a
+// Snapshot taken mid-run (or over a shorter ResetWindow segment)
+// reports exact counts but pro-rated utilizations.
+func (e *Engine) Snapshot() Result {
 	res := Result{
 		Technique:       e.tech.name(),
 		Stations:        e.cfg.Stations,
@@ -601,12 +689,18 @@ func (e *Engine) Run() Result {
 	return res
 }
 
-// RunChecked is Run with loud failure modes: it returns a
+// RunChecked is Run with loud failure modes: a second invocation
+// returns ErrAlreadyRun instead of panicking (so cluster drivers and
+// sweeps cannot crash on the double-Run footgun), and it returns a
 // *StarvationError when any materialization (including during
 // warm-up) was abandoned at the Place retry cap, so a sweep that
 // silently delivered zero displays becomes a typed error instead of a
-// zero row.  The Result is valid either way.
+// zero row.  The Result is valid when the error is nil or a
+// StarvationError.
 func (e *Engine) RunChecked() (Result, error) {
+	if e.primed || e.now != 0 {
+		return Result{}, ErrAlreadyRun
+	}
 	res := e.Run()
 	if e.starvedTotal > 0 {
 		return res, &StarvationError{

@@ -1,6 +1,14 @@
 package sched
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAlreadyRun is returned by RunChecked when the engine has already
+// been run (or primed and stepped): an Engine is single-use, and a
+// cluster driver retrying a member must build a fresh one instead.
+var ErrAlreadyRun = errors.New("sched: engine already run")
 
 // StarvationError reports that materializations were abandoned at the
 // Place retry cap (Config.PlaceRetryLimit): the farm could not fit

@@ -260,8 +260,14 @@ func (t *stripedTech) bind(e *Engine) error {
 	// no longer fits — exactly what on-demand materialization would
 	// have produced.  Objects arrive in popularity (non-ascending id)
 	// order; Reserve keeps the store tables from reallocating per id.
+	// A cluster driver overrides the set outright (PreloadObjects) to
+	// spread replicas across member servers by Zipf rank.
 	t.store.Reserve(cfg.Objects)
-	for _, id := range e.gen.TopObjects(preload) {
+	ids := cfg.PreloadObjects
+	if ids == nil {
+		ids = e.gen.TopObjects(preload)
+	}
+	for _, id := range ids {
 		if _, err := t.store.Place(id, cfg.Degree(id), cfg.Subobjects); err != nil {
 			break
 		}
@@ -479,6 +485,8 @@ func gcd(a, b int) int {
 }
 
 func (t *stripedTech) uniqueResidents() int { return t.store.ResidentCount() }
+
+func (t *stripedTech) holdsObject(id int) bool { return t.ready[id] }
 
 // vdiskOf maps physical disk f at the current interval to its global
 // virtual disk, (f − K·now) mod D.  The rotation (K·now) mod D is

@@ -177,11 +177,22 @@ func (t *vdrTech) bind(e *Engine) error {
 		value float64
 	}
 	var cands []cand
-	for id := 0; id < preload && id < cfg.Objects; id++ {
+	addCand := func(id int) {
 		p := e.gen.Popularity(id)
 		want := repl.Target(p, concurrency)
 		for j := 1; j <= want; j++ {
 			cands = append(cands, cand{id: id, copy: j, value: p / float64(j)})
+		}
+	}
+	if cfg.PreloadObjects != nil {
+		// Cluster-assigned shard of the catalog: warm-start only the
+		// objects this server replicates.
+		for _, id := range cfg.PreloadObjects {
+			addCand(id)
+		}
+	} else {
+		for id := 0; id < preload && id < cfg.Objects; id++ {
+			addCand(id)
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -367,6 +378,8 @@ func (t *vdrTech) anyLiveReplica(id int) bool {
 }
 
 func (t *vdrTech) uniqueResidents() int { return t.store.UniqueResident() }
+
+func (t *vdrTech) holdsObject(id int) bool { return len(t.store.Replicas(id)) > 0 }
 
 // setJob starts a job on cluster c until the given interval,
 // maintaining the busy count, the copy-in-flight counters, and the

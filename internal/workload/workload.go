@@ -43,6 +43,10 @@ func MeanLabel(mean float64) string {
 type Generator struct {
 	dist    *rng.Discrete
 	streams []rng.Stream
+	// remap translates a drawn popularity rank to an object id; nil
+	// (the usual case, and every golden configuration) is the identity.
+	// FlipHalf installs a rotation to model popularity churn.
+	remap []int
 }
 
 // NewGenerator builds a generator for the given number of stations
@@ -84,7 +88,31 @@ func (g *Generator) Stations() int { return len(g.streams) }
 
 // Draw returns the next object reference of the given station.
 func (g *Generator) Draw(station int) int {
-	return g.dist.Sample(&g.streams[station])
+	id := g.dist.Sample(&g.streams[station])
+	if g.remap != nil {
+		id = g.remap[id]
+	}
+	return id
+}
+
+// FlipHalf rotates the popularity mapping by half the catalog: after
+// the flip, the distribution's hottest rank draws what used to be the
+// median object and the old hot head goes cold — the popularity-churn
+// event the cache tier and the cluster's popularity dispatch must
+// re-converge under.  Calls compose (two flips of an even catalog
+// restore the identity).  Draw pays one nil check until the first
+// flip, so un-flipped runs are untouched.
+func (g *Generator) FlipHalf() {
+	n := g.dist.Len()
+	if g.remap == nil {
+		g.remap = make([]int, n)
+		for i := range g.remap {
+			g.remap[i] = i
+		}
+	}
+	for i := range g.remap {
+		g.remap[i] = (g.remap[i] + (n+1)/2) % n
+	}
 }
 
 // Popularity returns the reference probability of object id.
@@ -133,6 +161,19 @@ func (s *Stations) Issue(station int, now float64) Request {
 	s.busy[station] = true
 	s.total++
 	return Request{Station: station, Object: s.gen.Draw(station), IssuedAt: now}
+}
+
+// IssueObject marks station s busy with an externally chosen object —
+// the cluster layer's dispatch path, where the object was drawn from a
+// shared cluster-wide stream rather than the station's own.  The
+// station's generator stream is not advanced.
+func (s *Stations) IssueObject(station, object int, now float64) Request {
+	if s.busy[station] {
+		panic(fmt.Sprintf("workload: station %d already has an outstanding request", station))
+	}
+	s.busy[station] = true
+	s.total++
+	return Request{Station: station, Object: object, IssuedAt: now}
 }
 
 // IssueSharded is Issue without the shared total counter, for

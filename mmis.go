@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmsim/staggered/internal/analytic"
 	"github.com/mmsim/staggered/internal/buffer"
+	"github.com/mmsim/staggered/internal/cluster"
 	"github.com/mmsim/staggered/internal/core"
 	"github.com/mmsim/staggered/internal/diskmodel"
 	"github.com/mmsim/staggered/internal/experiment"
@@ -193,6 +194,34 @@ func NewSimulation(cfg SimulationConfig, technique string) (*Simulation, error) 
 func SimulationTechniques() []SimulationTechnique {
 	return sched.Techniques()
 }
+
+// Cluster simulation (DESIGN.md §13): N engines behind one clock.
+type (
+	// ClusterConfig parametrizes a shared-clock multi-server run: the
+	// fleet size, technique, dispatch policy, and the per-server base
+	// configuration.
+	ClusterConfig = cluster.Config
+	// ClusterSim advances N server engines in global earliest-time
+	// order, routing a cluster-wide Poisson arrival stream through a
+	// pluggable dispatch policy.
+	ClusterSim = cluster.Sim
+	// ClusterResult carries the merged aggregate plus per-server runs
+	// and routing counters.
+	ClusterResult = cluster.Result
+	// DispatchPolicy routes cluster arrivals to member servers.
+	DispatchPolicy = cluster.Dispatch
+)
+
+// NewClusterSimulation builds a shared-clock cluster simulation.  A
+// 1-server cluster reproduces the single engine's Result
+// byte-for-byte.
+func NewClusterSimulation(cfg ClusterConfig) (*ClusterSim, error) {
+	return cluster.New(cfg)
+}
+
+// DispatchPolicies returns the registered dispatch policy keys
+// ("roundrobin", "leastloaded", "popularity").
+func DispatchPolicies() []string { return cluster.Policies() }
 
 // Experiments (the paper's evaluation).
 type (

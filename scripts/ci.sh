@@ -40,6 +40,12 @@ fi
 echo "== cache-enabled quick sweep under the race detector (memory tier + open Zipf arrivals)"
 go run -race ./cmd/sweep -scale quick -technique striped -stations 64 -dist 20 -zipf 0.7 -arrivals 6000 -cachemb 256 -batchwindow 8 -csv
 
+echo "== 2-server cluster quick sweep per dispatch policy, under the race detector"
+for policy in roundrobin leastloaded popularity; do
+	echo "-- dispatch: $policy"
+	go run -race ./cmd/sweep -servers 1,2 -dispatch "$policy" -seed 1 -csv
+done
+
 echo "== quick sweep per registered technique"
 for tkey in $(go run ./cmd/sweep -list-techniques | awk '{print $1}'); do
 	echo "-- technique: $tkey"
@@ -48,14 +54,14 @@ done
 echo "-- technique: staggered (explicit stride k=1)"
 go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
 
-echo "== perf-regression report + gate (>20% ns/op over BENCH_6 reference fails)"
+echo "== perf-regression report + gate (>20% ns/op over BENCH_7 reference fails)"
 # bench refuses the worker curve on a single-CPU host unless told the
 # caveat is acceptable; CI wants the curve recorded either way, with
 # env.single_core marking reports whose curve cannot show speedup.
 if [ "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" -ge 2 ]; then
-	go run ./cmd/bench -out BENCH_7.json -maxregress 0.20
+	go run ./cmd/bench -out BENCH_8.json -maxregress 0.20
 else
-	go run ./cmd/bench -out BENCH_7.json -maxregress 0.20 -forcecurve
+	go run ./cmd/bench -out BENCH_8.json -maxregress 0.20 -forcecurve
 fi
 
 echo "CI OK"
