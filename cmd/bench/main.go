@@ -5,7 +5,7 @@
 // a worker-count curve at the largest factor, runs the E19 cache-tier
 // sweep (displays/hour, startup latency, and hit rate per cache
 // budget × skew × batch window cell), and writes a machine-readable
-// report (default BENCH_8.json) with ns/op, B/op, and allocs/op next
+// report (default BENCH_9.json) with ns/op, B/op, and allocs/op next
 // to the recorded baselines.  With -maxregress it exits nonzero when
 // any recorded bench regresses past the threshold against its
 // reference, so scripts/ci.sh fails on hot-path regressions instead
@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	bench                     # write BENCH_8.json in the current directory
+//	bench                     # write BENCH_9.json in the current directory
 //	bench -out report.json
 //	bench -maxregress 0.20    # fail on >20% ns/op regression vs reference
 //	bench -workers 1,2,4,8    # worker curve measured at the largest factor
@@ -49,34 +49,36 @@ var baseline = map[string]Measurement{
 
 // reference is the regression gate: the engine, scale, and cluster
 // benches use the numbers the previous PR's harness recorded in
-// BENCH_7.json on the CI machine; the nanosecond-scale calendar
+// BENCH_8.json on the CI machine; the nanosecond-scale calendar
 // benches keep the upper end of their recorded range (DESIGN.md §8:
 // 60–110 / 20–35 ns/op depending on the VM's state), because
 // single-core clock drift alone exceeds 20% at that scale.
 // -maxregress compares current ns/op against these — for this PR the
-// gate proves the run-loop decomposition (Prime/StepOne/Snapshot and
-// the cluster layer on top) did not slow the single-engine hot paths
-// the goldens pin.  BenchmarkCluster4 has no reference yet; its first
-// recorded numbers land in BENCH_8.json and gate the next revision.
+// gate proves the failover instrumentation (dead-member checks in the
+// dispatch policies and the server-event drain in the cluster loop)
+// did not slow the fault-free hot paths the goldens pin.
+// BenchmarkFailover4 has no reference yet; its first recorded numbers
+// land in BENCH_9.json and gate the next revision.
 var reference = map[string]Measurement{
-	"BenchmarkFigure8a":         {NsPerOp: 7436080, BytesPerOp: 445169, AllocsPerOp: 4936},
-	"BenchmarkFigure8b":         {NsPerOp: 6176090, BytesPerOp: 400664, AllocsPerOp: 4838},
-	"BenchmarkFigure8c":         {NsPerOp: 6180276, BytesPerOp: 377590, AllocsPerOp: 4844},
-	"BenchmarkTable4":           {NsPerOp: 13640693, BytesPerOp: 740564, AllocsPerOp: 8896},
-	"BenchmarkFaultRecovery":    {NsPerOp: 946842, BytesPerOp: 94315, AllocsPerOp: 1320},
-	"BenchmarkStaggeredK1":      {NsPerOp: 21497412, BytesPerOp: 4295840, AllocsPerOp: 105539},
-	"BenchmarkCachedFigure8":    {NsPerOp: 7199734, BytesPerOp: 128293, AllocsPerOp: 1442},
+	"BenchmarkFigure8a":         {NsPerOp: 7673606, BytesPerOp: 445425, AllocsPerOp: 4936},
+	"BenchmarkFigure8b":         {NsPerOp: 6024232, BytesPerOp: 400920, AllocsPerOp: 4838},
+	"BenchmarkFigure8c":         {NsPerOp: 5477784, BytesPerOp: 377846, AllocsPerOp: 4844},
+	"BenchmarkTable4":           {NsPerOp: 13714706, BytesPerOp: 740948, AllocsPerOp: 8896},
+	"BenchmarkFaultRecovery":    {NsPerOp: 936801, BytesPerOp: 94379, AllocsPerOp: 1320},
+	"BenchmarkStaggeredK1":      {NsPerOp: 20783499, BytesPerOp: 4295901, AllocsPerOp: 105539},
+	"BenchmarkCachedFigure8":    {NsPerOp: 8055628, BytesPerOp: 128325, AllocsPerOp: 1442},
+	"BenchmarkCluster4":         {NsPerOp: 9176202, BytesPerOp: 267946, AllocsPerOp: 2361},
 	"BenchmarkCalendarSchedule": {NsPerOp: 110, BytesPerOp: 0, AllocsPerOp: 0},
 	"BenchmarkCalendarCancel":   {NsPerOp: 34, BytesPerOp: 0, AllocsPerOp: 0},
-	"BenchmarkScaleSweep":       {NsPerOp: 3003968, BytesPerOp: 226496, AllocsPerOp: 1214},
+	"BenchmarkScaleSweep":       {NsPerOp: 3007115, BytesPerOp: 226528, AllocsPerOp: 1214},
 }
 
 // The scale trajectory carries its own gate: ns/display at the gate
-// factor as BENCH_7.json recorded it.  The -maxregress gate enforces
-// that the steppable-primitive refactor cannot regress it.
+// factor as BENCH_8.json recorded it.  The -maxregress gate enforces
+// that the failover plumbing cannot regress it.
 const (
 	scaleGateFactor = 1000
-	scaleGateRefNs  = 2186.6
+	scaleGateRefNs  = 2172.6
 )
 
 // Measurement is one benchmark's cost per operation.
@@ -116,7 +118,7 @@ type Env struct {
 	Workers []int `json:"worker_curve,omitempty"`
 }
 
-// Report is the BENCH_8.json document.
+// Report is the BENCH_9.json document.
 type Report struct {
 	Note    string                  `json:"note"`
 	Env     Env                     `json:"env"`
@@ -234,6 +236,19 @@ func benchCluster4(b *testing.B) {
 	}
 }
 
+// benchFailover4 runs one E21 failover point per op — a 4-server
+// leastloaded cluster that loses a member mid-window, including the
+// kill drain, re-admission, replica healing, and the recovery-curve
+// sampler (DESIGN.md §14).
+func benchFailover4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunE21Point("leastloaded", 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchStaggeredK1 sweeps the first-class staggered technique (k=1,
 // Algorithms 1+2) through the registry-built generic engine — the
 // same path `sweep -technique staggered` runs.
@@ -252,7 +267,7 @@ func main() {
 }
 
 func run() int {
-	out := flag.String("out", "BENCH_8.json", "report file")
+	out := flag.String("out", "BENCH_9.json", "report file")
 	maxRegress := flag.Float64("maxregress", 0, "fail when any recorded bench's ns/op exceeds its reference by more than this fraction (0 = report only)")
 	scaleFactors := flag.String("scalefactors", "1,2,5,10,20,50,100,200,500,1000,2000,5000,10000", "comma-separated scale-sweep factors; empty = skip the sweep")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the curve at the largest scale factor; empty = skip the curve")
@@ -271,6 +286,7 @@ func run() int {
 		{"BenchmarkStaggeredK1", benchStaggeredK1},
 		{"BenchmarkCachedFigure8", benchCachedFigure8},
 		{"BenchmarkCluster4", benchCluster4},
+		{"BenchmarkFailover4", benchFailover4},
 		{"BenchmarkCalendarSchedule", benchCalendarSchedule},
 		{"BenchmarkCalendarCancel", benchCalendarCancel},
 		{"BenchmarkScaleSweep", benchScaleSweep},

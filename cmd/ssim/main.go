@@ -13,6 +13,8 @@
 //	ssim -zipf 0.7 -arrivals 6000    # open Zipf Poisson workload
 //	ssim -servers 4 -dispatch popularity -zipf 1.1 -arrivals 16000
 //	                                 # shared-clock cluster (DESIGN.md §13)
+//	ssim -servers 4 -arrivals 6000 -faults 'server:1@2000-3000' -healbudget 2
+//	                                 # kill+restart a member, heal replicas (DESIGN.md §14)
 //
 // A run whose materializations starve at the Place retry cap exits
 // nonzero with the typed starvation diagnosis on stderr.
@@ -59,6 +61,10 @@ func run() (code int) {
 	arrivals := flag.Float64("arrivals", 0, "open Poisson arrivals per hour (0 = closed loop)")
 	servers := flag.Int("servers", 1, "number of shared-clock servers (>1 requires -arrivals; DESIGN.md §13)")
 	dispatch := flag.String("dispatch", "", "cluster dispatch policy: roundrobin, leastloaded, or popularity (default roundrobin)")
+	healBudget := flag.Int("healbudget", 0, "replicas the cluster re-creates per healing window after a member kill (0 = no healing; DESIGN.md §14)")
+	healWindow := flag.Int("healwindow", 0, "healing-pass cadence in intervals (0 = one display length)")
+	replicaDepth := flag.Int("replicadepth", 0, "replica-ladder depth multiplier for the cluster placement (0 or 1 = default ladder)")
+	sampleEvery := flag.Int("samples", 0, "sample the cluster recovery curve every N intervals (0 = off)")
 	listTech := flag.Bool("list-techniques", false, "list registered techniques and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -124,7 +130,31 @@ func run() (code int) {
 	}
 
 	if *servers > 1 {
-		return runCluster(cfg, *servers, *technique, *stride, *dispatch)
+		// A mixed -faults plan splits by scope: disk and tertiary events
+		// run inside every member, server kills and restarts run in the
+		// cluster driver.
+		var serverPlan *fault.Plan
+		if cfg.Faults != nil {
+			member, srv := cfg.Faults.SplitServerScope()
+			cfg.Faults = nil
+			if !member.Empty() {
+				cfg.Faults = member
+			}
+			if !srv.Empty() {
+				serverPlan = srv
+			}
+		}
+		return runCluster(cfg, clusterOpts{
+			servers:      *servers,
+			technique:    *technique,
+			stride:       *stride,
+			dispatch:     *dispatch,
+			serverPlan:   serverPlan,
+			healBudget:   *healBudget,
+			healWindow:   *healWindow,
+			replicaDepth: *replicaDepth,
+			sampleEvery:  *sampleEvery,
+		})
 	}
 
 	eng, normalized, err := sched.NewEngineFor(*technique, cfg, *stride)
@@ -148,15 +178,35 @@ func run() (code int) {
 	return 0
 }
 
+// clusterOpts carries the cluster-layer flags into runCluster.
+type clusterOpts struct {
+	servers      int
+	technique    string
+	stride       int
+	dispatch     string
+	serverPlan   *fault.Plan
+	healBudget   int
+	healWindow   int
+	replicaDepth int
+	sampleEvery  int
+}
+
 // runCluster runs the shared-clock multi-server simulation and prints
-// the merged aggregate followed by one row per member (DESIGN.md §13).
-func runCluster(base sched.Config, servers int, technique string, stride int, dispatch string) int {
+// the merged aggregate followed by one row per member (DESIGN.md §13),
+// with the failover and healing ledgers when a server plan ran
+// (DESIGN.md §14).
+func runCluster(base sched.Config, o clusterOpts) int {
 	sim, err := cluster.New(cluster.Config{
-		Servers:   servers,
-		Technique: technique,
-		Stride:    stride,
-		Dispatch:  dispatch,
-		Base:      base,
+		Servers:             o.servers,
+		Technique:           o.technique,
+		Stride:              o.stride,
+		Dispatch:            o.dispatch,
+		Base:                base,
+		ServerPlan:          o.serverPlan,
+		HealBudget:          o.healBudget,
+		HealWindowIntervals: o.healWindow,
+		ReplicaDepth:        o.replicaDepth,
+		SampleIntervals:     o.sampleEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
@@ -167,15 +217,26 @@ func runCluster(base sched.Config, servers int, technique string, stride int, di
 		fmt.Fprintf(os.Stderr, "ssim: %v\n", err)
 		return 1
 	}
-	fmt.Printf("cluster:              %d servers, %s dispatch\n", servers, res.Dispatch)
+	fmt.Printf("cluster:              %d servers, %s dispatch\n", o.servers, res.Dispatch)
 	printResult(base, res.Aggregate)
 	if res.NoHolder > 0 {
 		fmt.Printf("no-holder fallbacks:  %d\n", res.NoHolder)
+	}
+	if res.FailedOver+res.OrphanedRequests+res.LostArrivals > 0 {
+		fmt.Printf("failover:             %d re-routed dispatches, %d orphaned requests (%d re-admitted, %d dropped), %d lost arrivals\n",
+			res.FailedOver, res.OrphanedRequests, res.ReAdmitted, res.ReAdmitDropped, res.LostArrivals)
+	}
+	if res.HealedReplicas > 0 {
+		fmt.Printf("healing:              %d replicas re-created, %.1f s to redistribute\n",
+			res.HealedReplicas, res.RedistributeSeconds)
 	}
 	fmt.Println()
 	for i, r := range res.Servers {
 		fmt.Printf("server %-2d             %.2f displays/hour (%d displays, %d routed, %d rejected, disk %.1f%%, tertiary %.1f%%)\n",
 			i, r.Throughput(), r.Displays, res.Routed[i], r.OpenRejected, r.DiskBusy*100, r.TertiaryBusy*100)
+		if r.OrphanedDisplays > 0 {
+			fmt.Printf("                      %d displays orphaned by a kill\n", r.OrphanedDisplays)
+		}
 	}
 	return 0
 }

@@ -21,6 +21,7 @@
 //	sweep -e18                    # availability experiment (EXPERIMENTS.md E18)
 //	sweep -e19                    # cache-size sweep (EXPERIMENTS.md E19)
 //	sweep -e20                    # cluster scaling sweep (EXPERIMENTS.md E20)
+//	sweep -e21                    # server-failover sweep (EXPERIMENTS.md E21)
 //	sweep -servers 1,2,4 -dispatch popularity  # custom cluster grid
 //	sweep -cachemb 256 -batchwindow 8   # memory tier on every run (DESIGN.md §12)
 //	sweep -zipf 0.7 -arrivals 6000      # open Zipf workload instead of the closed loop
@@ -64,6 +65,7 @@ func run() (code int) {
 	e18Flag := flag.Bool("e18", false, "run the E18 availability experiment and exit")
 	e19Flag := flag.Bool("e19", false, "run the E19 cache-size sweep and exit")
 	e20Flag := flag.Bool("e20", false, "run the E20 cluster-scaling sweep and exit")
+	e21Flag := flag.Bool("e21", false, "run the E21 server-failover sweep and exit")
 	serversFlag := flag.String("servers", "", "comma-separated fleet sizes for a cluster grid (implies -e20 over those sizes)")
 	dispatchFlag := flag.String("dispatch", "", "restrict the cluster grid to one dispatch policy (roundrobin, leastloaded, popularity)")
 	cacheMB := flag.Int("cachemb", 0, "prefix-cache RAM budget in MB (0 = no prefix cache; DESIGN.md §12)")
@@ -92,6 +94,20 @@ func run() (code int) {
 			return 1
 		}
 		fmt.Print(experiment.E19Render(points))
+		return 0
+	}
+
+	if *e21Flag {
+		points, err := experiment.E21(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		if *csv {
+			fmt.Print(experiment.E21CSV(points))
+		} else {
+			fmt.Print(experiment.RenderE21(points))
+		}
 		return 0
 	}
 

@@ -257,6 +257,37 @@ func (t *Tier) DetachIfLeader(obj int, station int32, now int, buf []int32) ([]i
 	return buf, true
 }
 
+// PendingObjects appends to buf every object id with a non-empty
+// pending batch, ascending — the deterministic drain order the
+// failover path uses to orphan batched requests when a whole server
+// dies.  The caller owns buf.
+func (t *Tier) PendingObjects(buf []int) []int {
+	for obj, ps := range t.pending {
+		if len(ps) > 0 {
+			buf = append(buf, obj)
+		}
+	}
+	return buf
+}
+
+// Flush resets the tier to its built state: no residents, no leaders,
+// no followers, no pending batches, and a cold replacement policy —
+// the RAM contents of a server that just power-cycled.
+func (t *Tier) Flush() {
+	for _, obj := range t.residents {
+		t.resident[obj] = false
+		t.pol.Evicted(obj)
+	}
+	t.residents = t.residents[:0]
+	t.used = 0
+	for obj := range t.leaderEnd {
+		t.leaderEnd[obj] = 0
+		t.followers[obj] = t.followers[obj][:0]
+		t.pending[obj] = t.pending[obj][:0]
+	}
+	t.pol.Reset()
+}
+
 // AddPending batches a request behind obj's queued leader request; it
 // boards the leader's stream when the leader admits.
 func (t *Tier) AddPending(obj int, station, arrived int32) {

@@ -23,6 +23,9 @@ type Policy interface {
 	Victim(resident []int) (int, bool)
 	// ShouldAdmit reports whether candidate is worth displacing victim.
 	ShouldAdmit(candidate, victim int) bool
+	// Reset forgets all accumulated popularity/recency state, as a
+	// power-cycled server's RAM would.
+	Reset()
 }
 
 // lru is the baseline: evict the least-recently-touched prefix, and
@@ -56,6 +59,12 @@ func (p *lru) Victim(resident []int) (int, bool) {
 }
 
 func (p *lru) ShouldAdmit(candidate, victim int) bool { return true }
+
+func (p *lru) Reset() {
+	for i := range p.last {
+		p.last[i] = -1
+	}
+}
 
 // popularity is the popularity-weighted variant: each touch adds one
 // unit to an exponentially-decayed per-object score (half-life of one
@@ -112,4 +121,11 @@ func (p *popularity) Victim(resident []int) (int, bool) {
 
 func (p *popularity) ShouldAdmit(candidate, victim int) bool {
 	return p.score[candidate] > p.score[victim]
+}
+
+func (p *popularity) Reset() {
+	for i := range p.last {
+		p.score[i] = 0
+		p.last[i] = -1
+	}
 }

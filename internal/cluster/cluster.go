@@ -59,6 +59,45 @@ type Config struct {
 	// it to fail disks on one server and assert the siblings are
 	// untouched.
 	ServerFaults []*fault.Plan
+
+	// ServerPlan optionally schedules whole-member failures
+	// (fault.FailServer / FailServerUntil / ServerWearProcess,
+	// DESIGN.md §14): a killed member aborts its in-flight displays,
+	// its queued requests re-route to survivors through the dispatch
+	// policy, and a restart rejoins it with cold RAM but warm disks.
+	// Member indexes must be < Servers; requires Servers > 1 (killing
+	// the only member leaves nobody to fail over to).
+	ServerPlan *fault.Plan
+
+	// HealBudget bounds how many replicas the healing pass re-creates
+	// per healing window after a kill (0 disables healing).  Each
+	// object the dead member held goes to the least-loaded live
+	// non-holder, hottest first.
+	HealBudget int
+
+	// HealWindowIntervals is the healing-pass cadence in intervals
+	// (0 = one display length, Base.Subobjects).
+	HealWindowIntervals int
+
+	// ReplicaDepth scales the build-time replica ladder: depth d gives
+	// the rank-r object min(Servers, max(1, Servers·d >> floor(log2(r+1))))
+	// copies, so higher depths keep more of the catalog multi-homed —
+	// the survivability knob experiment E21 sweeps.  0 or 1 is the
+	// default ladder.
+	ReplicaDepth int
+
+	// SampleIntervals, when positive, samples the cluster-wide
+	// cumulative completed-display count every that many intervals of
+	// the shared clock — the recovery curves of experiment E21.
+	SampleIntervals int
+}
+
+// Sample is one point of the cluster's recovery curve: the cumulative
+// completed displays (warm-up included) across all members at a shared-
+// clock instant.
+type Sample struct {
+	Seconds  float64
+	Displays int
 }
 
 // Result is the outcome of one cluster run.
@@ -76,9 +115,39 @@ type Result struct {
 	// server (nil for a delegated 1-server run).
 	Routed []int
 	// NoHolder counts measurement-window popularity dispatches that
-	// found no server holding the object and fell back to least
-	// loaded (always 0 for other policies).
+	// found no live server holding the object and fell back to least
+	// loaded among live members (always 0 for other policies).
 	NoHolder int
+
+	// FailedOver counts measurement-window dispatches whose natural
+	// target was dead and that re-routed to a live member.  For
+	// leastloaded the natural target is the global load argmin
+	// including dead members — a drained dead member reports zero
+	// load, so nearly every dispatch during an outage counts here;
+	// read it as availability pressure, not as an error count.
+	FailedOver int
+	// OrphanedRequests counts requests drained from killed members'
+	// disk queues and batch registries.  Each one is re-admitted to a
+	// survivor or dropped, so OrphanedRequests == ReAdmitted +
+	// ReAdmitDropped always (displays killed mid-delivery are counted
+	// in the members' OrphanedDisplays instead).
+	OrphanedRequests int
+	// ReAdmitted counts orphaned requests a survivor accepted.
+	ReAdmitted int
+	// ReAdmitDropped counts orphaned requests nobody could take
+	// (every member dead, or the target had no idle station).
+	ReAdmitDropped int
+	// LostArrivals counts fresh arrivals that found every member dead.
+	LostArrivals int
+	// HealedReplicas counts replicas the healing pass re-created on
+	// survivors (Config.HealBudget).
+	HealedReplicas int
+	// RedistributeSeconds is the longest span from a kill to its heal
+	// queue draining — the time-to-redistribute of the dead member's
+	// catalog (0 when healing is off or never triggered).
+	RedistributeSeconds float64
+	// Samples is the recovery curve (Config.SampleIntervals).
+	Samples []Sample
 }
 
 // Sim is one cluster simulation.  Build with New, run once with Run.
@@ -100,11 +169,43 @@ type Sim struct {
 	flipped   bool
 
 	// Dispatch counters (reset at the warm-up boundary).
-	routed   []int
-	noHolder int
+	routed     []int
+	noHolder   int
+	failedOver int
+
+	// Server-failover state (DESIGN.md §14).  The conservation
+	// counters (orphaned, reAdmitted, reAdmitDropped, healed) are
+	// lifetime, never window-reset: the chaos harness asserts
+	// orphaned == reAdmitted + reAdmitDropped over the whole run.
+	serverEvents    []fault.Event
+	serverCursor    int
+	assignments     [][]int // build-time replica table, the healing source
+	orphaned        int
+	reAdmitted      int
+	reAdmitDropped  int
+	lostArrivals    int
+	healed          int
+	healQueue       []healEntry
+	healBudget      int
+	healWindowSecs  float64
+	nextHealAt      float64
+	healStart       float64 // seconds of the kill that opened the episode
+	redistributeSec float64
+
+	// Recovery-curve sampling (Config.SampleIntervals).
+	sampleSecs   float64
+	nextSampleAt float64
+	samples      []Sample
 
 	resetDone []bool
 	ran       bool
+}
+
+// healEntry is one replica the healing pass still owes the cluster:
+// an object the killed member `from` held at its death.
+type healEntry struct {
+	obj  int
+	from int
 }
 
 // New validates the configuration and builds the member engines,
@@ -132,6 +233,26 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if len(cfg.ServerFaults) > cfg.Servers {
 		return nil, fmt.Errorf("cluster: %d fault plans for %d servers", len(cfg.ServerFaults), cfg.Servers)
+	}
+	if cfg.ServerPlan != nil && !cfg.ServerPlan.Empty() {
+		if cfg.Servers < 2 {
+			return nil, fmt.Errorf("cluster: a server fault plan needs Servers > 1 (nobody to fail over to)")
+		}
+		if err := cfg.ServerPlan.ValidateServers(cfg.Servers); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.HealBudget < 0 {
+		return nil, fmt.Errorf("cluster: HealBudget must be non-negative")
+	}
+	if cfg.HealWindowIntervals < 0 {
+		return nil, fmt.Errorf("cluster: HealWindowIntervals must be non-negative")
+	}
+	if cfg.ReplicaDepth < 0 {
+		return nil, fmt.Errorf("cluster: ReplicaDepth must be non-negative")
+	}
+	if cfg.SampleIntervals < 0 {
+		return nil, fmt.Errorf("cluster: SampleIntervals must be non-negative")
 	}
 
 	s := &Sim{cfg: cfg, dispatch: disp, dt: base.IntervalSeconds()}
@@ -182,7 +303,26 @@ func New(cfg Config) (*Sim, error) {
 		s.flipAt = float64(base.ZipfFlipInterval) * s.dt
 	}
 
-	assignments := replicaAssignments(base.Objects, cfg.Servers, base.DefaultPreload())
+	depth := cfg.ReplicaDepth
+	if depth == 0 {
+		depth = 1
+	}
+	assignments := replicaAssignments(base.Objects, cfg.Servers, base.DefaultPreload(), depth)
+	s.assignments = assignments
+	if cfg.ServerPlan != nil {
+		s.serverEvents = cfg.ServerPlan.Events()
+	}
+	s.healBudget = cfg.HealBudget
+	hw := cfg.HealWindowIntervals
+	if hw == 0 {
+		hw = base.Subobjects
+	}
+	s.healWindowSecs = float64(hw) * s.dt
+	s.nextHealAt = s.healWindowSecs
+	if cfg.SampleIntervals > 0 {
+		s.sampleSecs = float64(cfg.SampleIntervals) * s.dt
+		s.nextSampleAt = s.sampleSecs
+	}
 
 	// One worker pool for the whole cluster: the members are stepped
 	// sequentially, so N per-engine pools would only oversubscribe the
@@ -229,6 +369,9 @@ func (s *Sim) load(i int) int {
 // holds reports whether member i can play the object without staging.
 func (s *Sim) holds(i, obj int) bool { return s.engines[i].HoldsObject(obj) }
 
+// dead reports whether member i is currently killed.
+func (s *Sim) dead(i int) bool { return s.engines[i].Dead() }
+
 // drawObject samples the shared popularity distribution, applying the
 // churn rotation once the flip has fired.
 func (s *Sim) drawObject() int {
@@ -256,7 +399,8 @@ func (s *Sim) flip() {
 }
 
 // deliverArrivals dispatches every cluster arrival strictly before
-// limit (seconds) to a member chosen by the policy.
+// limit (seconds) to a member chosen by the policy.  An arrival that
+// finds every member dead is lost and counted.
 func (s *Sim) deliverArrivals(limit float64) {
 	for s.nextAt < limit {
 		if s.flipAt > 0 && !s.flipped && s.nextAt >= s.flipAt {
@@ -265,10 +409,144 @@ func (s *Sim) deliverArrivals(limit float64) {
 		}
 		obj := s.drawObject()
 		target := s.dispatch.Pick(obj, s)
-		s.routed[target]++
-		s.engines[target].InjectArrival(obj)
+		if target < 0 {
+			s.lostArrivals++
+		} else {
+			s.routed[target]++
+			s.engines[target].InjectArrival(obj)
+		}
 		s.nextAt += s.arrStream.Exp(s.meanGap)
 	}
+}
+
+// applyServerEvent executes one server-plan transition.  Redundant
+// events (killing a dead member, reviving a live one) are absorbed.
+func (s *Sim) applyServerEvent(ev fault.Event) {
+	switch ev.Kind {
+	case fault.ServerFail:
+		s.killServer(ev.Disk)
+	case fault.ServerRepair:
+		s.reviveServer(ev.Disk, ev.At)
+	}
+}
+
+// killServer takes member i down: its in-flight displays become typed
+// aborts inside Engine.Kill, and every drained request is re-dispatched
+// to a survivor right here — the viewer re-queues on another server
+// rather than vanishing.  With healing enabled, the member's replica
+// assignment joins the heal queue, hottest (lowest rank) first.
+func (s *Sim) killServer(i int) {
+	e := s.engines[i]
+	if e.Dead() {
+		return
+	}
+	killT := e.NextEventTime()
+	rep := e.Kill()
+	s.orphaned += len(rep.Orphans)
+	for _, obj := range rep.Orphans {
+		target := s.dispatch.Pick(obj, s)
+		if target < 0 {
+			s.reAdmitDropped++
+			continue
+		}
+		s.routed[target]++
+		if s.engines[target].InjectArrival(obj) {
+			s.reAdmitted++
+		} else {
+			s.reAdmitDropped++
+		}
+	}
+	if s.healBudget > 0 {
+		wasEmpty := len(s.healQueue) == 0
+		for _, obj := range s.assignments[i] {
+			if e.HoldsObject(obj) {
+				s.healQueue = append(s.healQueue, healEntry{obj: obj, from: i})
+			}
+		}
+		if wasEmpty && len(s.healQueue) > 0 {
+			s.healStart = killT
+		}
+	}
+}
+
+// reviveServer restarts member i at the plan's interval (clamped to
+// the member's own clock, which may sit one interval past the kill
+// time in a staggered round).  Healing work owed for replicas the
+// member brings back with its surviving disks is dropped.
+func (s *Sim) reviveServer(i, at int) {
+	e := s.engines[i]
+	if !e.Dead() {
+		return
+	}
+	if n := e.Now(); at < n {
+		at = n
+	}
+	e.Revive(at)
+	if len(s.healQueue) > 0 {
+		kept := s.healQueue[:0]
+		for _, h := range s.healQueue {
+			if h.from != i {
+				kept = append(kept, h)
+			}
+		}
+		s.healQueue = kept
+		if len(kept) == 0 {
+			s.endHealEpisode(float64(at) * s.dt)
+		}
+	}
+}
+
+// healPass re-creates up to HealBudget replicas from the heal queue:
+// each goes to the least-loaded live member not already holding the
+// object.  An entry nobody can take (every live member holds it, or
+// every member is dead) is dropped; an entry the target has no room
+// for stays at the head for the next window.
+func (s *Sim) healPass(now float64) {
+	budget := s.healBudget
+	for budget > 0 && len(s.healQueue) > 0 {
+		h := s.healQueue[0]
+		target, tl := -1, 0
+		for j := range s.engines {
+			if s.dead(j) || s.holds(j, h.obj) {
+				continue
+			}
+			if l := s.load(j); target < 0 || l < tl {
+				target, tl = j, l
+			}
+		}
+		if target < 0 {
+			s.healQueue = s.healQueue[1:]
+			continue
+		}
+		if !s.engines[target].AdoptObject(h.obj) {
+			break // no room anywhere useful this window; retry next
+		}
+		s.healed++
+		budget--
+		s.healQueue = s.healQueue[1:]
+	}
+	if len(s.healQueue) == 0 {
+		s.endHealEpisode(now)
+	}
+}
+
+// endHealEpisode records the time-to-redistribute of a drained heal
+// queue; the Result reports the longest episode.
+func (s *Sim) endHealEpisode(now float64) {
+	if d := now - s.healStart; d > s.redistributeSec {
+		s.redistributeSec = d
+	}
+	s.healStart = now
+}
+
+// takeSample appends one recovery-curve point: the cluster-wide
+// cumulative completed-display count at shared-clock time t.
+func (s *Sim) takeSample(t float64) {
+	sum := 0
+	for _, e := range s.engines {
+		sum += e.CompletedDisplays()
+	}
+	s.samples = append(s.samples, Sample{Seconds: t, Displays: sum})
 }
 
 // Run executes the cluster to its horizon and returns the merged
@@ -292,9 +570,10 @@ func (s *Sim) Run() (Result, error) {
 	// is globally earliest (ties in ascending server order).  With
 	// homogeneous members this degenerates to lockstep rounds; the
 	// earliest-time order is what keeps heterogeneous interval lengths
-	// correct.
+	// correct.  A dead member reports no pending work and simply drops
+	// out of the rounds until its restart event revives it.
 	warm := s.engines[0].Config().WarmupIntervals
-	for {
+	pickBest := func() (int, float64) {
 		best := -1
 		var bt float64
 		for i, e := range s.engines {
@@ -304,6 +583,30 @@ func (s *Sim) Run() (Result, error) {
 			if t := e.NextEventTime(); best < 0 || t < bt {
 				best, bt = i, t
 			}
+		}
+		return best, bt
+	}
+	for {
+		best, bt := pickBest()
+		// Execute server-plan events due at or before the next step.
+		// With every member dead (best < 0) the clock jumps straight to
+		// the next event — a pending restart is the only thing that can
+		// put work back on the loop.
+		for s.serverCursor < len(s.serverEvents) {
+			ev := s.serverEvents[s.serverCursor]
+			if ev.At >= warm+s.engines[0].Config().MeasureIntervals {
+				// Past the run horizon (wear processes outlive short
+				// runs): never execute, or post-window state would leak
+				// into the Snapshots.
+				s.serverCursor++
+				continue
+			}
+			if best >= 0 && float64(ev.At)*s.dt > bt {
+				break
+			}
+			s.serverCursor++
+			s.applyServerEvent(ev)
+			best, bt = pickBest()
 		}
 		if best < 0 {
 			break
@@ -319,6 +622,21 @@ func (s *Sim) Run() (Result, error) {
 					s.routed[i] = 0
 				}
 				s.noHolder = 0
+				s.failedOver = 0
+			}
+		}
+		if s.sampleSecs > 0 {
+			for s.nextSampleAt <= bt {
+				s.takeSample(s.nextSampleAt)
+				s.nextSampleAt += s.sampleSecs
+			}
+		}
+		if s.healBudget > 0 && bt >= s.nextHealAt {
+			if len(s.healQueue) > 0 {
+				s.healPass(bt)
+			}
+			for s.nextHealAt <= bt {
+				s.nextHealAt += s.healWindowSecs
 			}
 		}
 		if s.dist != nil {
@@ -336,14 +654,29 @@ func (s *Sim) Run() (Result, error) {
 	}
 
 	res := Result{
-		Servers:  make([]sched.Result, len(s.engines)),
-		Dispatch: s.dispatch.Name(),
-		NoHolder: s.noHolder,
+		Servers:             make([]sched.Result, len(s.engines)),
+		Dispatch:            s.dispatch.Name(),
+		NoHolder:            s.noHolder,
+		FailedOver:          s.failedOver,
+		OrphanedRequests:    s.orphaned,
+		ReAdmitted:          s.reAdmitted,
+		ReAdmitDropped:      s.reAdmitDropped,
+		LostArrivals:        s.lostArrivals,
+		HealedReplicas:      s.healed,
+		RedistributeSeconds: s.redistributeSec,
+		Samples:             s.samples,
 	}
 	if s.routed != nil {
 		res.Routed = append([]int(nil), s.routed...)
 	}
 	for i, e := range s.engines {
+		if !s.resetDone[i] {
+			// The member never crossed the warm-up boundary alive (it
+			// died during warm-up and stayed dead): open an empty window
+			// so its warm-up counters don't pollute the aggregate.
+			e.ResetWindow()
+			s.resetDone[i] = true
+		}
 		res.Servers[i] = e.Snapshot()
 	}
 	res.Aggregate = res.Servers[0]
@@ -366,13 +699,15 @@ func anyTrue(bs []bool) bool {
 // popularity rank at build time: the hottest object is resident on
 // every server, and each doubling of rank halves the copy count down
 // to a floor of one, so every object has a holder while capacity
-// lasts (the popularity policy's routing table).  Copies go to the
-// least-filled eligible servers (ties to the lowest index), which
-// both balances the build-time load and is deterministic.  perServer
-// caps each member's resident objects at its farm capacity; objects
-// past the aggregate capacity stay unplaced and materialize on
-// demand.
-func replicaAssignments(objects, n, perServer int) [][]int {
+// lasts (the popularity policy's routing table).  depth scales the
+// whole ladder (depth 2 doubles every band's copies, capped at n) —
+// deeper ladders keep more of the catalog multi-homed, which is what
+// survives a member kill.  Copies go to the least-filled eligible
+// servers (ties to the lowest index), which both balances the
+// build-time load and is deterministic.  perServer caps each member's
+// resident objects at its farm capacity; objects past the aggregate
+// capacity stay unplaced and materialize on demand.
+func replicaAssignments(objects, n, perServer, depth int) [][]int {
 	out := make([][]int, n)
 	for i := range out {
 		// Non-nil even when empty: a nil PreloadObjects would fall
@@ -381,9 +716,12 @@ func replicaAssignments(objects, n, perServer int) [][]int {
 	}
 	counts := make([]int, n)
 	for rank := 0; rank < objects; rank++ {
-		copies := n >> bandOf(rank)
+		copies := (n * depth) >> bandOf(rank)
 		if copies < 1 {
 			copies = 1
+		}
+		if copies > n {
+			copies = n
 		}
 		taken := make([]bool, n)
 		for c := 0; c < copies; c++ {

@@ -229,7 +229,7 @@ func TestPopularityChurnReconverges(t *testing.T) {
 // holder while aggregate capacity lasts.
 func TestReplicaAssignments(t *testing.T) {
 	const objects, n, perServer = 40, 4, 20
-	assign := replicaAssignments(objects, n, perServer)
+	assign := replicaAssignments(objects, n, perServer, 1)
 
 	holders := make([]int, objects)
 	for i, ids := range assign {
@@ -252,7 +252,7 @@ func TestReplicaAssignments(t *testing.T) {
 		}
 	}
 
-	if !reflect.DeepEqual(assign, replicaAssignments(objects, n, perServer)) {
+	if !reflect.DeepEqual(assign, replicaAssignments(objects, n, perServer, 1)) {
 		t.Error("replica placement is not deterministic")
 	}
 }

@@ -38,6 +38,15 @@ const (
 	TertiaryFail
 	// TertiaryRepair returns the tertiary device to service.
 	TertiaryRepair
+	// ServerFail kills a whole cluster member at Event.At: its
+	// in-flight displays abort, its queue drains to the survivors, and
+	// it stops stepping.  Event.Disk holds the member index.  Server
+	// events are cluster-scope: they are rejected by Validate (a member
+	// engine cannot execute them) and are split out of a mixed plan by
+	// SplitServerScope.
+	ServerFail
+	// ServerRepair restarts a killed member with cold caches.
+	ServerRepair
 )
 
 func (k Kind) String() string {
@@ -54,6 +63,10 @@ func (k Kind) String() string {
 		return "tertiary-fail"
 	case TertiaryRepair:
 		return "tertiary-repair"
+	case ServerFail:
+		return "server-fail"
+	case ServerRepair:
+		return "server-repair"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -113,6 +126,50 @@ func (p *Plan) TertiaryOutage(at, until int) *Plan {
 	p.events = append(p.events,
 		Event{At: at, Kind: TertiaryFail, Disk: -1},
 		Event{At: until, Kind: TertiaryRepair, Disk: -1})
+	return p
+}
+
+// FailServer schedules a permanent kill of cluster member at interval
+// at.
+func (p *Plan) FailServer(member, at int) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: ServerFail, Disk: member})
+	return p
+}
+
+// FailServerUntil schedules a kill of cluster member at interval at
+// with a cold restart at interval restartAt.
+func (p *Plan) FailServerUntil(member, at, restartAt int) *Plan {
+	p.FailServer(member, at)
+	p.events = append(p.events, Event{At: restartAt, Kind: ServerRepair, Disk: member})
+	return p
+}
+
+// ServerWearProcess schedules an alternating kill/restart process on
+// each of the given cluster members up to the horizon, exactly as
+// WearProcess does for disks but at member granularity, drawn from a
+// per-member "fault-server-wear" stream so server wear never perturbs
+// a coexisting disk wear process built from the same seed.
+func (p *Plan) ServerWearProcess(members []int, mttf, mttr float64, horizon int, seed uint64) *Plan {
+	if mttf <= 0 || mttr <= 0 {
+		panic("fault: ServerWearProcess means must be positive")
+	}
+	src := rng.NewSource(seed)
+	for _, m := range members {
+		s := src.StreamN("fault-server-wear", m)
+		t := 0
+		for {
+			t += atLeastOne(s.Exp(mttf))
+			if t >= horizon {
+				break
+			}
+			p.FailServer(m, t)
+			t += atLeastOne(s.Exp(mttr))
+			if t >= horizon {
+				break
+			}
+			p.events = append(p.events, Event{At: t, Kind: ServerRepair, Disk: m})
+		}
+	}
 	return p
 }
 
@@ -180,6 +237,8 @@ func (p *Plan) Validate(d int) error {
 			if ev.Disk != -1 {
 				return fmt.Errorf("fault: tertiary event with disk %d", ev.Disk)
 			}
+		case ServerFail, ServerRepair:
+			return fmt.Errorf("fault: server-scope event %v %d in a member plan (split with SplitServerScope)", ev.Kind, ev.Disk)
 		default:
 			if ev.Disk < 0 || ev.Disk >= d {
 				return fmt.Errorf("fault: disk %d out of range [0, %d)", ev.Disk, d)
@@ -187,4 +246,48 @@ func (p *Plan) Validate(d int) error {
 		}
 	}
 	return nil
+}
+
+// ValidateServers checks a server-scope plan against a cluster of n
+// members: every event must be a server kill or restart of a member in
+// [0, n).
+func (p *Plan) ValidateServers(n int) error {
+	if p.Empty() {
+		return nil
+	}
+	for _, ev := range p.events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %v %d at negative interval %d", ev.Kind, ev.Disk, ev.At)
+		}
+		switch ev.Kind {
+		case ServerFail, ServerRepair:
+			if ev.Disk < 0 || ev.Disk >= n {
+				return fmt.Errorf("fault: server %d out of range [0, %d)", ev.Disk, n)
+			}
+		default:
+			return fmt.Errorf("fault: %v event in a server plan (split with SplitServerScope)", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// SplitServerScope partitions the plan into its member-scope part
+// (disk and tertiary events, runnable by every engine) and its
+// server-scope part (whole-member kills and restarts, executed by the
+// cluster layer).  Insertion order is preserved within each part; the
+// receiver is not mutated.  Either part may be empty.
+func (p *Plan) SplitServerScope() (member, server *Plan) {
+	member, server = NewPlan(), NewPlan()
+	if p.Empty() {
+		return member, server
+	}
+	for _, ev := range p.events {
+		switch ev.Kind {
+		case ServerFail, ServerRepair:
+			server.events = append(server.events, ev)
+		default:
+			member.events = append(member.events, ev)
+		}
+	}
+	return member, server
 }

@@ -139,3 +139,107 @@ func TestParse(t *testing.T) {
 		}
 	}
 }
+
+// TestParseServerClauses pins the server-scope grammar: one-shot
+// kills, kill+restart windows, and the member-granularity wear
+// process, all mixable with disk clauses in one string.
+func TestParseServerClauses(t *testing.T) {
+	p, err := Parse("server:1@300; server:2@100-250; fail:3@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 50, Kind: DiskFail, Disk: 3},
+		{At: 100, Kind: ServerFail, Disk: 2},
+		{At: 250, Kind: ServerRepair, Disk: 2},
+		{At: 300, Kind: ServerFail, Disk: 1},
+	}
+	if got := p.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Events() = %v, want %v", got, want)
+	}
+
+	w, err := Parse("server:wear:0-2@mttf=50,mttr=10,until=1000,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewPlan().ServerWearProcess([]int{0, 1, 2}, 50, 10, 1000, 7)
+	if !reflect.DeepEqual(w.Events(), direct.Events()) {
+		t.Fatal("parsed server wear clause disagrees with direct ServerWearProcess call")
+	}
+	// The member process draws from its own stream family: the same
+	// parameters must not replay the disk wear schedule.
+	disk := NewPlan().WearProcess([]int{0, 1, 2}, 50, 10, 1000, 7)
+	same := true
+	for i, ev := range w.Events() {
+		if dv := disk.Events()[i]; ev.At != dv.At {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("server wear replayed the disk wear schedule — streams not split")
+	}
+
+	bad := []string{
+		"server:1",        // missing @AT
+		"server:x@5",      // bad member
+		"server:1@9-5",    // restart before kill
+		"server:wear:0-2@mttf=50", // missing mttr/until
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// TestServerScopeValidationAndSplit pins the scope fence: a member
+// plan rejects server events, a server plan rejects disk events and
+// out-of-range members, and SplitServerScope partitions a mixed plan
+// cleanly without mutating it.
+func TestServerScopeValidationAndSplit(t *testing.T) {
+	mixed, err := Parse("fail:3@50; server:1@300-400; tert@100-200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.Validate(10); err == nil {
+		t.Error("member-scope Validate accepted a server event")
+	}
+	if err := mixed.ValidateServers(4); err == nil {
+		t.Error("server-scope Validate accepted a disk event")
+	}
+
+	member, server := mixed.SplitServerScope()
+	if err := member.Validate(10); err != nil {
+		t.Errorf("split member plan invalid: %v", err)
+	}
+	if err := server.ValidateServers(4); err != nil {
+		t.Errorf("split server plan invalid: %v", err)
+	}
+	wantMember := []Event{
+		{At: 50, Kind: DiskFail, Disk: 3},
+		{At: 100, Kind: TertiaryFail, Disk: -1},
+		{At: 200, Kind: TertiaryRepair, Disk: -1},
+	}
+	wantServer := []Event{
+		{At: 300, Kind: ServerFail, Disk: 1},
+		{At: 400, Kind: ServerRepair, Disk: 1},
+	}
+	if got := member.Events(); !reflect.DeepEqual(got, wantMember) {
+		t.Errorf("member part = %v, want %v", got, wantMember)
+	}
+	if got := server.Events(); !reflect.DeepEqual(got, wantServer) {
+		t.Errorf("server part = %v, want %v", got, wantServer)
+	}
+	if mixed.Len() != 5 {
+		t.Errorf("split mutated the source plan: %d events left", mixed.Len())
+	}
+
+	if err := server.ValidateServers(1); err == nil {
+		t.Error("member 1 should be out of range for a 1-member cluster")
+	}
+	empty, srv := NewPlan().SplitServerScope()
+	if !empty.Empty() || !srv.Empty() {
+		t.Error("splitting an empty plan should yield two empty plans")
+	}
+}

@@ -16,9 +16,15 @@ import (
 //	wear:LO-HI@mttf=F,mttr=R,until=H[,seed=S]
 //	                   MTTF/MTTR repair process on disks LO..HI up to
 //	                   interval H, drawn from seed S (default 1)
+//	server:S@AT        one-shot kill of cluster member S at AT
+//	server:S@AT-UNTIL  kill of member S at AT, cold restart at UNTIL
+//	server:wear:LO-HI@mttf=F,mttr=R,until=H[,seed=S]
+//	                   member-granularity MTTF/MTTR kill/restart process
 //
-// Example: "fail:3@500; slow:7@200-400; tert@1000-1500".
-// An empty string parses to an empty plan.
+// Example: "fail:3@500; slow:7@200-400; tert@1000-1500; server:1@2000".
+// An empty string parses to an empty plan.  Server clauses are
+// cluster-scope; callers running a cluster split a mixed plan with
+// Plan.SplitServerScope.
 func Parse(s string) (*Plan, error) {
 	p := NewPlan()
 	for _, clause := range strings.Split(s, ";") {
@@ -67,7 +73,20 @@ func parseClause(p *Plan, clause string) error {
 		p.TertiaryOutage(at, until)
 		return nil
 	case strings.HasPrefix(clause, "wear:"):
-		return parseWear(p, clause[len("wear:"):])
+		return parseWear(p, clause[len("wear:"):], false)
+	case strings.HasPrefix(clause, "server:wear:"):
+		return parseWear(p, clause[len("server:wear:"):], true)
+	case strings.HasPrefix(clause, "server:"):
+		member, at, until, ranged, err := parseDiskAt(clause[len("server:"):])
+		if err != nil {
+			return err
+		}
+		if ranged {
+			p.FailServerUntil(member, at, until)
+		} else {
+			p.FailServer(member, at)
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown clause kind")
 	}
@@ -110,8 +129,9 @@ func parseSpan(s string) (at, until int, ranged bool, err error) {
 	return
 }
 
-// parseWear parses "LO-HI@mttf=F,mttr=R,until=H[,seed=S]".
-func parseWear(p *Plan, s string) error {
+// parseWear parses "LO-HI@mttf=F,mttr=R,until=H[,seed=S]"; server
+// selects the member-granularity process over the disk one.
+func parseWear(p *Plan, s string, server bool) error {
 	i := strings.IndexByte(s, '@')
 	if i < 0 {
 		return fmt.Errorf("missing '@'")
@@ -157,6 +177,10 @@ func parseWear(p *Plan, s string) error {
 	for d := lo; d <= hi; d++ {
 		disks = append(disks, d)
 	}
-	p.WearProcess(disks, mttf, mttr, horizon, seed)
+	if server {
+		p.ServerWearProcess(disks, mttf, mttr, horizon, seed)
+	} else {
+		p.WearProcess(disks, mttf, mttr, horizon, seed)
+	}
 	return nil
 }

@@ -154,6 +154,42 @@ func TestRunMergeRatiosAndWindows(t *testing.T) {
 	}
 }
 
+// TestRunMergePartialWindow pins the dead-member weighting contract
+// (DESIGN.md §14): a member killed mid-window reports only the
+// MeasureSeconds it was alive for, and Merge weights its busy ratios
+// by that partial window — a quarter-window member contributes a
+// quarter of the weight, so the merged ratio is the true time average
+// instead of an unweighted mean skewed toward a member that wasn't
+// there.  The orphaned-display counter adds like every other event
+// count.
+func TestRunMergePartialWindow(t *testing.T) {
+	alive := Run{
+		MeasureSeconds: 600, DiskBusy: 0.6, TertiaryBusy: 0.4,
+		Displays: 120,
+	}
+	dead := Run{
+		MeasureSeconds: 150, DiskBusy: 0.8, TertiaryBusy: 1.0,
+		Displays: 20, AbortedDisplays: 5, OrphanedDisplays: 5,
+	}
+	alive.Merge(dead)
+
+	if want := (0.6*600 + 0.8*150) / 750; math.Abs(alive.DiskBusy-want) > 1e-15 {
+		t.Errorf("DiskBusy = %v, want time-weighted %v (unweighted mean would be 0.7)", alive.DiskBusy, want)
+	}
+	if want := (0.4*600 + 1.0*150) / 750; math.Abs(alive.TertiaryBusy-want) > 1e-15 {
+		t.Errorf("TertiaryBusy = %v, want time-weighted %v", alive.TertiaryBusy, want)
+	}
+	// The merged window is the shared-clock span, not the sum: the dead
+	// member's 150 live seconds overlap the survivor's 600.
+	if alive.MeasureSeconds != 600 {
+		t.Errorf("MeasureSeconds = %v, want max 600", alive.MeasureSeconds)
+	}
+	if alive.Displays != 140 || alive.AbortedDisplays != 5 || alive.OrphanedDisplays != 5 {
+		t.Errorf("event counters = %d/%d/%d, want 140/5/5",
+			alive.Displays, alive.AbortedDisplays, alive.OrphanedDisplays)
+	}
+}
+
 // TestRunMergeMixedTechniques pins the degradation rules for the
 // identity fields.
 func TestRunMergeMixedTechniques(t *testing.T) {

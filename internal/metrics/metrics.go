@@ -147,6 +147,7 @@ type Run struct {
 	Requests                int // station requests arriving in the window
 	DegradedHiccups         int // intervals a display rode out a failed/slow disk
 	AbortedDisplays         int // displays killed mid-delivery by a fault
+	OrphanedDisplays        int // of AbortedDisplays: killed by a whole-server fault
 	RejectedDegraded        int // admissions refused because the object is unplayable
 	StarvedMaterializations int // materializations abandoned after the Place retry cap
 
@@ -208,6 +209,7 @@ func (r *Run) Merge(o Run) {
 	r.Requests += o.Requests
 	r.DegradedHiccups += o.DegradedHiccups
 	r.AbortedDisplays += o.AbortedDisplays
+	r.OrphanedDisplays += o.OrphanedDisplays
 	r.RejectedDegraded += o.RejectedDegraded
 	r.StarvedMaterializations += o.StarvedMaterializations
 

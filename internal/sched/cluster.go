@@ -78,6 +78,9 @@ func (e *Engine) InjectArrival(object int) bool {
 	if e.open == nil {
 		panic("sched: InjectArrival on an engine without ExternalArrivals")
 	}
+	if e.dead {
+		panic("sched: InjectArrival on a dead engine")
+	}
 	if object < 0 || object >= e.cfg.Objects {
 		panic("sched: InjectArrival object out of range")
 	}

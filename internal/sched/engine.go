@@ -71,6 +71,22 @@ type Technique interface {
 	// right now — resident and fully materialized — for the cluster
 	// layer's popularity dispatch (route to a replica holder).
 	holdsObject(id int) bool
+	// killActive aborts every in-flight policy job — displays, copies,
+	// the staging pipeline — and resets queue-derived technique state
+	// (the engine drains its request queue immediately after, so pin
+	// counts are about to go to zero).  Part of Engine.Kill.
+	killActive()
+	// onRevive reconciles technique clocks with a restarted engine:
+	// e.now has already jumped past the dead window, so any
+	// per-interval TickWheel the technique drives must Reset to
+	// e.now-1.  Disk contents survive the outage (the transient-fault
+	// model DiskRepair uses), so stores stay as they were.
+	onRevive()
+	// adoptObject places a full copy of the object on this member as
+	// part of the cluster's replica-healing pass, without consuming the
+	// tertiary device (the healing budget is the bandwidth model).  It
+	// reports whether the copy was actually placed.
+	adoptObject(id int) bool
 }
 
 // Engine is the shared mechanism of the interval engines: the
@@ -156,8 +172,16 @@ type Engine struct {
 	requests    int
 	degHiccups  int
 	aborted     int
+	orphaned    int // of aborted: drained by a whole-server Kill
 	rejectedDeg int
 	starved     int
+
+	// Server-failover state (DESIGN.md §14).  All zero on a run that is
+	// never killed, and Snapshot's normalization then reduces to the
+	// pinned golden formulas exactly.
+	dead         bool
+	diedAt       int // interval Kill took effect
+	deadMeasured int // measured intervals lost to completed dead spans
 
 	// Cache-tier window counters.
 	servedCache      int
@@ -597,9 +621,10 @@ func (e *Engine) Close() {
 }
 
 // HasPendingWork reports whether the run's horizon (warm-up plus
-// measurement) has not been reached yet.
+// measurement) has not been reached yet.  A dead engine has no work:
+// it sits still until Revive or the end of the run.
 func (e *Engine) HasPendingWork() bool {
-	return e.now < e.cfg.WarmupIntervals+e.cfg.MeasureIntervals
+	return !e.dead && e.now < e.cfg.WarmupIntervals+e.cfg.MeasureIntervals
 }
 
 // NextEventTime returns the simulated time, in seconds, of the next
@@ -627,6 +652,7 @@ func (e *Engine) ResetWindow() {
 	e.admitted = e.admitted[:0]
 	e.busyArea, e.tertBusy = 0, 0
 	e.requests, e.degHiccups, e.aborted, e.rejectedDeg, e.starved = 0, 0, 0, 0, 0
+	e.orphaned = 0
 	e.servedCache, e.batchedFollowers, e.cacheHitBytes = 0, 0, 0
 	if e.open != nil {
 		e.open.rejected = 0
@@ -653,26 +679,41 @@ func (e *Engine) Run() Result {
 // Snapshot assembles a Result from the window counters as they stand.
 // The ratio fields normalize by the full measurement window, so a
 // Snapshot taken mid-run (or over a shorter ResetWindow segment)
-// reports exact counts but pro-rated utilizations.
+// reports exact counts but pro-rated utilizations.  A member that
+// spent part of the window dead (Kill/Revive) normalizes by the
+// intervals it was actually alive, so cluster merges — which weight
+// busy ratios by MeasureSeconds — do not dilute a survivor's
+// utilization with a corpse's zeros; with no dead span the divisor is
+// exactly MeasureIntervals, byte-identical to the pinned goldens.
 func (e *Engine) Snapshot() Result {
+	meas := e.cfg.MeasureIntervals - e.deadMeasured
+	if e.dead {
+		meas -= e.deadSpan(e.diedAt, e.cfg.WarmupIntervals+e.cfg.MeasureIntervals)
+	}
+	tertBusy, diskBusy := 0.0, 0.0
+	if meas > 0 {
+		tertBusy = float64(e.tertBusy) / float64(meas)
+		diskBusy = e.busyArea / (float64(meas) * float64(e.cfg.D))
+	}
 	res := Result{
 		Technique:       e.tech.name(),
 		Stations:        e.cfg.Stations,
 		DistMean:        e.cfg.DistMean,
 		WarmupSeconds:   float64(e.cfg.WarmupIntervals) * e.cfg.IntervalSeconds(),
-		MeasureSeconds:  float64(e.cfg.MeasureIntervals) * e.cfg.IntervalSeconds(),
+		MeasureSeconds:  float64(meas) * e.cfg.IntervalSeconds(),
 		Displays:        e.completed,
 		Materializa:     e.materialized,
 		Replications:    e.replications,
 		Hiccups:         e.hiccups,
 		Coalescings:     e.coalescings,
-		TertiaryBusy:    float64(e.tertBusy) / float64(e.cfg.MeasureIntervals),
-		DiskBusy:        e.busyArea / (float64(e.cfg.MeasureIntervals) * float64(e.cfg.D)),
+		TertiaryBusy:    tertBusy,
+		DiskBusy:        diskBusy,
 		UniqueResidents: e.tech.uniqueResidents(),
 
 		Requests:                e.requests,
 		DegradedHiccups:         e.degHiccups,
 		AbortedDisplays:         e.aborted,
+		OrphanedDisplays:        e.orphaned,
 		RejectedDegraded:        e.rejectedDeg,
 		StarvedMaterializations: e.starved,
 

@@ -413,6 +413,53 @@ func (t *stripedTech) abortDisplay(d int32) {
 	t.eng.countAbort(int(t.dStation[d]), int(t.dObject[d]))
 }
 
+// killActive implements the whole-server kill (DESIGN.md §14): the
+// staging aborts first (its batched followers re-queue, and the engine
+// drains the queue right after), then every in-flight display aborts
+// through the same typed path a disk fault uses.  Pooled slots have
+// dDone set, so the arena walk naturally skips them.  After the walk
+// every virtual disk is free and no queued request pins anything, so
+// the coldQueued gate resets to zero.
+func (t *stripedTech) killActive() {
+	if t.matObject >= 0 {
+		t.abortStaging()
+	}
+	for d := int32(0); d < int32(len(t.dDone)); d++ {
+		if !t.dDone[d] {
+			t.abortDisplay(d)
+		}
+	}
+	t.coalescing = t.coalescing[:0]
+	t.coldQueued = 0
+	t.annEpoch = -1
+}
+
+// onRevive needs no ring surgery: every event scheduled before the
+// kill is stale in a self-validating way (aborted streams have
+// sVdisk −1 and aborted displays have dDone set, and both consumers
+// revalidate), so entries left in skipped slots are dropped the next
+// time their slot comes around.  The probe memo compares for interval
+// equality, so pre-kill values cannot false-hit either.
+func (t *stripedTech) onRevive() {
+	t.annEpoch = -1
+}
+
+// adoptObject places a copy of id for the replica-healing pass without
+// consuming tertiary time — the cluster layer's per-window budget is
+// the bandwidth model.  It declines objects already held, being
+// staged, or pending on the device.
+func (t *stripedTech) adoptObject(id int) bool {
+	if t.ready[id] || t.store.Resident(id) || id == t.matObject || t.eng.tman.Pending(id) {
+		return false
+	}
+	if !t.tryPlace(id) {
+		return false
+	}
+	t.setReady(id, true)
+	t.eng.emit(EvMatEnd, id, -1, "healed")
+	return true
+}
+
 // abortStaging abandons the pending or in-flight materialization: the
 // write claims release, a partially written object is evicted rather
 // than published, and the device request is dropped (stations still

@@ -366,6 +366,68 @@ func (t *vdrTech) abortStaging() {
 	t.matStarted = false
 }
 
+// killActive implements the whole-server kill (DESIGN.md §14): the
+// staging aborts first (a miss staging re-queues its batched
+// followers, and the engine drains the queue right after), then every
+// busy cluster's job aborts through the same typed paths the disk
+// faults use.  abortCopy clears both ends of a pair, so the second end
+// is seen idle when the walk reaches it.  The replication queue is
+// dropped outright — the trigger re-fires after restart if still
+// warranted.
+func (t *vdrTech) killActive() {
+	if t.matObject >= 0 {
+		t.abortStaging()
+	}
+	for c := 0; c < t.clusters; c++ {
+		switch t.job[c] {
+		case jobDisplay:
+			t.abortDisplay(c)
+		case jobCopySource, jobCopyTarget:
+			t.abortCopy(c)
+		case jobMaterialize:
+			t.clearJob(c) // defensive: abortStaging above cleared it
+		}
+	}
+	t.replQueue = t.replQueue[:0]
+	clear(t.replQueued)
+}
+
+// onRevive jumps the ending wheels across the dead window: every
+// cluster is idle after killActive, so no scheduled ending survives,
+// and the wheels just need their cursors moved so the next Due call —
+// which asserts single-interval advancement — lands on now.
+func (t *vdrTech) onRevive() {
+	at := t.eng.now
+	t.endings.Reset(at - 1)
+	for _, w := range t.endShards {
+		w.Reset(at - 1)
+	}
+}
+
+// adoptObject places one replica of id for the replica-healing pass
+// without consuming tertiary time — the cluster layer's per-window
+// budget is the bandwidth model.  victimCluster already refuses
+// clusters holding id, so healing an object this server still has a
+// copy of grows its replica set, which is the point.
+func (t *vdrTech) adoptObject(id int) bool {
+	if id == t.matObject || t.eng.tman.Pending(id) || t.replQueued[id] {
+		return false
+	}
+	c, drop, _, ok := t.victimCluster(id)
+	if !ok {
+		return false
+	}
+	if !t.executePlan(c, drop) {
+		return false
+	}
+	if err := t.store.PlaceReplica(id, c, t.cfg.Subobjects); err != nil {
+		t.eng.hiccups++
+		return false
+	}
+	t.eng.replications++
+	return true
+}
+
 // anyLiveReplica reports whether some replica of id sits on a cluster
 // with no down disk.
 func (t *vdrTech) anyLiveReplica(id int) bool {

@@ -99,6 +99,28 @@ func (w *TickWheel[P]) Due(tick int, buf []P) []P {
 	return buf
 }
 
+// Reset empties the wheel and repositions the clock so the next Due
+// call must be Due(cur+1).  The failover path uses it to jump a
+// revived engine's wheels across the dead window: every pending
+// payload belonged to the killed run and has already been drained or
+// aborted, so dropping them wholesale is exactly the semantics a cold
+// restart wants.
+func (w *TickWheel[P]) Reset(cur int) {
+	if w.count > 0 || w.overflow != nil {
+		for level := range w.slots {
+			for slot := range w.slots[level] {
+				s := w.slots[level][slot]
+				clear(s)
+				w.slots[level][slot] = s[:0]
+			}
+		}
+		clear(w.overflow)
+		w.overflow = w.overflow[:0]
+		w.count = 0
+	}
+	w.cur = cur
+}
+
 // cascade redistributes residents of every unit the clock enters at
 // tick.  Entering a new unit at a level redistributes that unit's
 // residents downward; highest level first so an entry sinks one level

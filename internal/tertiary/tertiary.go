@@ -219,6 +219,16 @@ func (m *Manager) Abort() {
 	m.inflight = -1
 }
 
+// Reset drops the in-flight materialization and every queued request,
+// keeping only the served total — the state a server restart after a
+// whole-member kill wants: cold queue, history intact.
+func (m *Manager) Reset() {
+	m.inflight = -1
+	m.queue = m.queue[:0]
+	m.head = 0
+	clear(m.queued)
+}
+
 // Pending reports whether id is queued or in flight.
 func (m *Manager) Pending(id int) bool {
 	return m.inflight == id || m.isQueued(id)

@@ -46,6 +46,13 @@ for policy in roundrobin leastloaded popularity; do
 	go run -race ./cmd/sweep -servers 1,2 -dispatch "$policy" -seed 1 -csv
 done
 
+echo "== 4-server kill-one failover run per dispatch policy, under the race detector (DESIGN.md §14)"
+for policy in roundrobin leastloaded popularity; do
+	echo "-- dispatch: $policy"
+	go run -race ./cmd/ssim -scale quick -servers 4 -dispatch "$policy" -zipf 1.1 -arrivals 6000 \
+		-faults 'server:1@2100-2700' -healbudget 2 -samples 150 -seed 1 >/dev/null
+done
+
 echo "== quick sweep per registered technique"
 for tkey in $(go run ./cmd/sweep -list-techniques | awk '{print $1}'); do
 	echo "-- technique: $tkey"
@@ -54,14 +61,14 @@ done
 echo "-- technique: staggered (explicit stride k=1)"
 go run ./cmd/sweep -scale quick -technique staggered -k 1 -stations 1,8 -dist 20 -csv
 
-echo "== perf-regression report + gate (>20% ns/op over BENCH_7 reference fails)"
+echo "== perf-regression report + gate (>20% ns/op over BENCH_8 reference fails)"
 # bench refuses the worker curve on a single-CPU host unless told the
 # caveat is acceptable; CI wants the curve recorded either way, with
 # env.single_core marking reports whose curve cannot show speedup.
 if [ "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" -ge 2 ]; then
-	go run ./cmd/bench -out BENCH_8.json -maxregress 0.20
+	go run ./cmd/bench -out BENCH_9.json -maxregress 0.20
 else
-	go run ./cmd/bench -out BENCH_8.json -maxregress 0.20 -forcecurve
+	go run ./cmd/bench -out BENCH_9.json -maxregress 0.20 -forcecurve
 fi
 
 echo "CI OK"
